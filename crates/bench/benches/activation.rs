@@ -1,0 +1,63 @@
+//! Benches for Fig. 1's machinery: staircase evaluation, the empirical
+//! error model, and the Algorithm 1 (α, β) search itself — the paper's
+//! conversion cost is dominated by this per-layer search.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ull_core::{compute_loss, find_scaling_factors, snn_staircase, StaircaseConfig};
+use ull_core::{delta_empirical, h_t_mu, k_mu};
+use ull_tensor::stats::percentile_table;
+
+fn skewed_samples(n: usize) -> Vec<f32> {
+    (0..n)
+        .map(|i| {
+            let u = (i as f32 + 0.5) / n as f32;
+            ((-u.ln()) / 6.0).min(1.2)
+        })
+        .collect()
+}
+
+fn bench_staircase(c: &mut Criterion) {
+    let cfg = StaircaseConfig::bias_added(1.0, 3);
+    let xs: Vec<f32> = (0..1000).map(|i| i as f32 * 0.002).collect();
+    c.bench_function("staircase_eval_1k_points", |b| {
+        b.iter(|| xs.iter().map(|&s| snn_staircase(black_box(s), &cfg)).sum::<f32>())
+    });
+}
+
+fn bench_error_model(c: &mut Criterion) {
+    let samples = skewed_samples(20_000);
+    let mut g = c.benchmark_group("error_model_20k_samples");
+    g.bench_function("k_mu", |b| b.iter(|| k_mu(black_box(&samples), 1.0)));
+    g.bench_function("h_t_mu", |b| b.iter(|| h_t_mu(black_box(&samples), 2, 1.0)));
+    g.bench_function("delta", |b| {
+        let stair = StaircaseConfig::bias_added(1.0, 2);
+        b.iter(|| delta_empirical(black_box(&samples), 1.0, &stair))
+    });
+    g.finish();
+}
+
+fn bench_algorithm1(c: &mut Criterion) {
+    let samples = skewed_samples(20_000);
+    let table = percentile_table(&samples);
+    let candidates: Vec<f32> = table.iter().copied().filter(|&p| p > 0.0 && p <= 1.0).collect();
+    let mut g = c.benchmark_group("algorithm1");
+    g.sample_size(10);
+    g.bench_function("compute_loss_once", |b| {
+        b.iter(|| compute_loss(black_box(&candidates), 1.0, 0.5, 1.1, 2))
+    });
+    // The full search: |percentiles| α-candidates × 201 β values.
+    g.bench_function("find_scaling_factors_full_search", |b| {
+        b.iter(|| find_scaling_factors(black_box(&table), 1.0, 2))
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(400));
+    targets = bench_staircase, bench_error_model, bench_algorithm1
+}
+criterion_main!(benches);

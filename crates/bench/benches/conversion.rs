@@ -1,0 +1,44 @@
+//! Cost of the conversion step itself for every method — the paper's
+//! method adds a per-layer percentile search on top of plain threshold
+//! balancing; this measures that overhead.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ull_core::{convert_with_budget, ConversionMethod};
+use ull_data::{generate, SynthCifarConfig};
+use ull_nn::models;
+
+fn bench_conversion_methods(c: &mut Criterion) {
+    let cfg = SynthCifarConfig::tiny(10);
+    let (train, _) = generate(&cfg);
+    let dnn = models::vgg_micro(10, cfg.image_size, 0.25, 7);
+    let mut g = c.benchmark_group("convert_vgg_micro");
+    g.sample_size(10);
+    let methods: [(&str, ConversionMethod); 4] = [
+        ("threshold_balance", ConversionMethod::ThresholdBalance),
+        (
+            "max_preactivation",
+            ConversionMethod::MaxPreactivation { percentile: 100.0 },
+        ),
+        ("bias_shift", ConversionMethod::BiasShift),
+        ("alpha_beta_algorithm1", ConversionMethod::AlphaBeta),
+    ];
+    for (name, method) in methods {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                convert_with_budget(black_box(&dnn), black_box(&train), method, 2, 32, 4_000)
+                    .expect("conversion")
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_conversion_methods
+}
+criterion_main!(benches);

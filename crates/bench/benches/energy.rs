@@ -1,0 +1,54 @@
+//! Cost of the energy-accounting pipeline (Fig. 4 bookkeeping): structural
+//! MAC audit, spike statistics collection, and the audit combination.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ull_data::{generate, SynthCifarConfig};
+use ull_energy::{audit_dnn, audit_snn, EnergyModel};
+use ull_nn::models;
+use ull_snn::{SnnNetwork, SpikeSpec};
+
+fn bench_energy_accounting(c: &mut Criterion) {
+    let cfg = SynthCifarConfig::tiny(10);
+    let (_, test) = generate(&cfg);
+    let dnn = models::vgg_micro(10, cfg.image_size, 0.25, 7);
+    let specs = vec![SpikeSpec::identity(1.0); dnn.threshold_nodes().len()];
+    let snn = SnnNetwork::from_network(&dnn, &specs).expect("convertible");
+    let chw = [3usize, cfg.image_size, cfg.image_size];
+
+    let mut g = c.benchmark_group("energy_accounting");
+    g.sample_size(10);
+    g.bench_function("audit_dnn_structural", |b| {
+        b.iter(|| audit_dnn(black_box(&dnn), &chw))
+    });
+
+    let dnn_audit = audit_dnn(&dnn, &chw);
+    let batch = test.batch(&(0..8).collect::<Vec<_>>());
+    g.bench_function("spike_stats_forward_t2", |b| {
+        b.iter(|| snn.forward(black_box(&batch.images), 2))
+    });
+
+    let out = snn.forward(&batch.images, 2);
+    let report = out.stats.report();
+    g.bench_function("audit_snn_combination", |b| {
+        b.iter(|| audit_snn(black_box(&snn), black_box(&dnn_audit), black_box(&report)))
+    });
+
+    let snn_audit = audit_snn(&snn, &dnn_audit, &report);
+    g.bench_function("energy_model_eval", |b| {
+        b.iter(|| {
+            EnergyModel::CMOS_45NM.snn_energy_pj(black_box(&snn_audit))
+                + EnergyModel::CMOS_45NM.dnn_energy_pj(black_box(&dnn_audit))
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(400));
+    targets = bench_energy_accounting
+}
+criterion_main!(benches);

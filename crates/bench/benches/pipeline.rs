@@ -1,0 +1,68 @@
+//! End-to-end epoch costs — the iso-batch comparison of Fig. 3: one DNN
+//! training epoch vs one SNN (SGL) epoch at T = 2 and T = 5.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ull_data::{generate, SynthCifarConfig};
+use ull_nn::{models, train_epoch, Sgd, SgdConfig, TrainConfig};
+use ull_snn::{train_snn_epoch, SnnNetwork, SnnSgd, SnnTrainConfig, SpikeSpec};
+use ull_tensor::init::seeded_rng;
+
+fn data() -> ull_data::Dataset {
+    let mut cfg = SynthCifarConfig::tiny(10);
+    cfg.train_size = 64;
+    generate(&cfg).0
+}
+
+fn bench_dnn_epoch(c: &mut Criterion) {
+    let train = data();
+    let dnn = models::vgg_micro(10, 8, 0.25, 7);
+    let sgd = Sgd::new(SgdConfig::default());
+    let tcfg = TrainConfig {
+        batch_size: 16,
+        augment_pad: 0,
+        augment_flip: false,
+    };
+    c.bench_function("dnn_epoch_64imgs", |b| {
+        b.iter(|| {
+            let mut net = dnn.clone();
+            let mut rng = seeded_rng(1);
+            train_epoch(&mut net, &train, &sgd, 1.0, &tcfg, &mut rng)
+        })
+    });
+}
+
+fn bench_snn_epoch(c: &mut Criterion) {
+    let train = data();
+    let dnn = models::vgg_micro(10, 8, 0.25, 7);
+    let specs = vec![SpikeSpec::identity(1.0); dnn.threshold_nodes().len()];
+    let snn = SnnNetwork::from_network(&dnn, &specs).expect("convertible");
+    let sgd = SnnSgd::new(SgdConfig::default());
+    let mut g = c.benchmark_group("snn_epoch_64imgs");
+    g.sample_size(10);
+    for t in [2usize, 5] {
+        let cfg = SnnTrainConfig {
+            batch_size: 16,
+            time_steps: t,
+            augment_pad: 0,
+            augment_flip: false,
+        };
+        g.bench_function(format!("t{t}"), |b| {
+            b.iter(|| {
+                let mut net = snn.clone();
+                let mut rng = seeded_rng(2);
+                train_snn_epoch(&mut net, &train, &sgd, 1.0, &cfg, &mut rng)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(4))
+        .warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_dnn_epoch, bench_snn_epoch
+}
+criterion_main!(benches);

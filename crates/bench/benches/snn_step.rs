@@ -1,0 +1,78 @@
+//! The mechanism behind Fig. 3: SNN inference and BPTT cost must scale
+//! linearly with the number of time steps T. These benches measure one
+//! forward pass and one forward+backward pass at T ∈ {2, 3, 5}.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use ull_nn::{cross_entropy_grad, models};
+use ull_snn::{SnnNetwork, SpikeSpec};
+use ull_tensor::init::{normal, seeded_rng};
+
+fn make_snn() -> SnnNetwork {
+    let dnn = models::vgg_micro(10, 16, 0.25, 7);
+    let specs = vec![SpikeSpec::identity(1.0); dnn.threshold_nodes().len()];
+    SnnNetwork::from_network(&dnn, &specs).expect("convertible")
+}
+
+fn bench_inference_scaling(c: &mut Criterion) {
+    let snn = make_snn();
+    let mut rng = seeded_rng(1);
+    let x = normal(&[8, 3, 16, 16], 0.0, 1.0, &mut rng);
+    let mut g = c.benchmark_group("snn_inference_vs_t");
+    g.sample_size(10);
+    for t in [2usize, 3, 5] {
+        g.bench_with_input(BenchmarkId::from_parameter(t), &t, |b, &t| {
+            b.iter(|| snn.forward(black_box(&x), t))
+        });
+    }
+    g.finish();
+}
+
+fn bench_bptt_scaling(c: &mut Criterion) {
+    let snn = make_snn();
+    let mut rng = seeded_rng(2);
+    let x = normal(&[8, 3, 16, 16], 0.0, 1.0, &mut rng);
+    let labels: Vec<usize> = (0..8).map(|i| i % 10).collect();
+    let mut g = c.benchmark_group("snn_train_step_vs_t");
+    g.sample_size(10);
+    for t in [2usize, 3, 5] {
+        g.bench_with_input(BenchmarkId::from_parameter(t), &t, |b, &t| {
+            b.iter(|| {
+                let mut net = snn.clone();
+                let mut rng2 = seeded_rng(3);
+                let tape = net.forward_train(black_box(&x), t, &mut rng2);
+                let grad = cross_entropy_grad(&tape.logits, &labels);
+                net.backward(&tape, &grad);
+                net
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_dnn_reference(c: &mut Criterion) {
+    // Iso-architecture DNN forward+backward for the Fig. 3 comparison.
+    let dnn = models::vgg_micro(10, 16, 0.25, 7);
+    let mut rng = seeded_rng(4);
+    let x = normal(&[8, 3, 16, 16], 0.0, 1.0, &mut rng);
+    let labels: Vec<usize> = (0..8).map(|i| i % 10).collect();
+    c.bench_function("dnn_train_step_reference", |b| {
+        b.iter(|| {
+            let mut net = dnn.clone();
+            let mut rng2 = seeded_rng(5);
+            let tape = net.forward_train(black_box(&x), &mut rng2);
+            let grad = cross_entropy_grad(&tape[net.output()].activation, &labels);
+            net.backward(&tape, &grad);
+            net
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_inference_scaling, bench_bptt_scaling, bench_dnn_reference
+}
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! Criterion benches for the tensor kernels that dominate both DNN and SNN
+//! simulation cost: matmul variants and im2col convolution.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ull_tensor::conv::{conv2d, conv2d_backward, ConvGeometry};
+use ull_tensor::init::{normal, seeded_rng};
+use ull_tensor::{matmul, matmul_transpose_a, matmul_transpose_b};
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut rng = seeded_rng(1);
+    let a = normal(&[64, 256], 0.0, 1.0, &mut rng);
+    let b = normal(&[256, 64], 0.0, 1.0, &mut rng);
+    let bt = normal(&[64, 256], 0.0, 1.0, &mut rng);
+    let at = a.transpose();
+    let mut g = c.benchmark_group("matmul_64x256x64");
+    g.bench_function("plain", |bch| bch.iter(|| matmul(black_box(&a), black_box(&b))));
+    g.bench_function("transpose_a", |bch| {
+        bch.iter(|| matmul_transpose_a(black_box(&at), black_box(&b)))
+    });
+    g.bench_function("transpose_b", |bch| {
+        bch.iter(|| matmul_transpose_b(black_box(&a), black_box(&bt)))
+    });
+    g.finish();
+}
+
+fn bench_sparse_spike_matmul(c: &mut Criterion) {
+    // The AC-vs-MAC story in microcosm: spike matrices are mostly zero and
+    // the kernel skips zero entries, so sparse inputs are much faster.
+    let mut rng = seeded_rng(2);
+    let w = normal(&[256, 64], 0.0, 1.0, &mut rng);
+    let dense = normal(&[64, 256], 0.0, 1.0, &mut rng);
+    let mut sparse = dense.clone();
+    for (i, v) in sparse.data_mut().iter_mut().enumerate() {
+        *v = if i % 10 == 0 { 1.0 } else { 0.0 }; // 10 % spike rate
+    }
+    let mut g = c.benchmark_group("spike_matmul");
+    g.bench_function("dense_input", |b| {
+        b.iter(|| matmul(black_box(&dense), black_box(&w)))
+    });
+    g.bench_function("sparse_10pct_input", |b| {
+        b.iter(|| matmul(black_box(&sparse), black_box(&w)))
+    });
+    g.finish();
+}
+
+fn bench_conv(c: &mut Criterion) {
+    let mut rng = seeded_rng(3);
+    let x = normal(&[4, 16, 16, 16], 0.0, 1.0, &mut rng);
+    let w = normal(&[32, 16, 3, 3], 0.0, 0.2, &mut rng);
+    let geo = ConvGeometry::square(3, 1, 1);
+    let y = conv2d(&x, &w, None, geo);
+    let go = ull_tensor::Tensor::ones(y.shape());
+    let mut g = c.benchmark_group("conv2d_16ch_16px");
+    g.sample_size(20);
+    g.bench_function("forward", |b| {
+        b.iter(|| conv2d(black_box(&x), black_box(&w), None, geo))
+    });
+    g.bench_function("backward", |b| {
+        b.iter(|| conv2d_backward(black_box(&x), black_box(&w), black_box(&go), geo))
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(400));
+    targets = bench_matmul, bench_sparse_spike_matmul, bench_conv
+}
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Developer utility: sweeps DNN training hyper-parameters on the deep
+//! architectures to find settings where VGG-16 / ResNet-20 (no batch norm)
+//! train reliably at the CPU-budget scale. Not part of the experiment
+//! suite.
+
+use ull_data::{generate, SynthCifarConfig};
+use ull_nn::{evaluate, train_epoch, LrSchedule, Sgd, SgdConfig, TrainConfig};
+use ull_tensor::init::seeded_rng;
+
+fn main() {
+    for (width, noise, train_size) in [(0.25f32, 0.2f32, 512usize), (0.25, 0.25, 1024)] {
+        let mut dcfg = SynthCifarConfig::small(10);
+        dcfg.noise_std = noise;
+        dcfg.train_size = train_size;
+        dcfg.test_size = 256;
+        let (train, test) = generate(&dcfg);
+        for arch in ["vgg16", "resnet20"] {
+            let mut dnn = match arch {
+                "vgg16" => ull_nn::models::vgg16(10, dcfg.image_size, width, 7),
+                _ => ull_nn::models::resnet20(10, dcfg.image_size, width, 7),
+            };
+            let sgd = Sgd::new(SgdConfig {
+                lr: 0.02,
+                momentum: 0.9,
+                weight_decay: 1e-4,
+            });
+            let tcfg = TrainConfig {
+                batch_size: 32,
+                augment_pad: 0,
+                augment_flip: false,
+            };
+            let mut rng = seeded_rng(42);
+            let epochs = 30;
+            let start = std::time::Instant::now();
+            print!("{arch:<9} w={width} noise={noise} n={train_size}:");
+            for e in 0..epochs {
+                let s = train_epoch(
+                    &mut dnn,
+                    &train,
+                    &sgd,
+                    LrSchedule::paper(epochs).factor(e),
+                    &tcfg,
+                    &mut rng,
+                );
+                if e % 5 == 4 {
+                    print!(" {:.2}/{:.0}%", s.loss, s.accuracy * 100.0);
+                }
+            }
+            let acc = evaluate(&dnn, &test, 32);
+            println!(
+                "  => test {:.1} % ({:.0}s)",
+                acc * 100.0,
+                start.elapsed().as_secs_f64()
+            );
+        }
+    }
+}

@@ -1,0 +1,113 @@
+//! Fig. 1 (a) + (b): DNN vs SNN activation functions, the measured
+//! pre-activation distribution of an early VGG layer, the `h(T,μ)` vs T
+//! curve, and the α/β-scaled staircase with its Seg-I/II/III loss regions.
+//!
+//! ```sh
+//! cargo run --release -p ull-bench --bin fig1_activation [--scale small]
+//! ```
+
+use serde::Serialize;
+use ull_bench::{load_data, train_or_load_dnn, write_report, Arch, Scale};
+use ull_core::analysis::layer_error_reports;
+use ull_core::{
+    collect_preactivations, dnn_activation, find_scaling_factors, snn_staircase, StaircaseConfig,
+};
+use ull_tensor::init::seeded_rng;
+use ull_tensor::stats::{mass_below_fraction_of_max, percentile_table, Histogram};
+
+#[derive(Serialize)]
+struct Fig1Report {
+    layer_node: usize,
+    mu: f32,
+    curve_s: Vec<f32>,
+    dnn_curve: Vec<f32>,
+    snn_plain: Vec<f32>,
+    snn_bias_added: Vec<f32>,
+    snn_alpha_beta: Vec<f32>,
+    alpha: f32,
+    beta: f32,
+    histogram_density: Vec<f32>,
+    histogram_lo: f32,
+    histogram_hi: f32,
+    h_by_t: Vec<(usize, f32)>,
+    k_mu: f32,
+    mass_below_third_of_max: f32,
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    let t = 2;
+    let (train, test) = load_data(scale, 10);
+        let mut rng = seeded_rng(11);
+    let (dnn, acc) = train_or_load_dnn("vgg16", scale, Arch::Vgg16, 10, &train, &test, &mut rng);
+    println!("trained VGG-16 (width {}), test acc {:.1} %", scale.width(), acc * 100.0);
+
+    // The paper plots the 2nd activation layer of VGG-16.
+    let layers = collect_preactivations(&dnn, &train, 64, 40_000);
+    let layer = &layers[1];
+    let mu = layer.mu;
+    println!("layer node {}: mu = {:.4}", layer.node, mu);
+
+    // Activation curves over s in [-0.2mu, 1.4mu].
+    let n = 200;
+    let curve_s: Vec<f32> = (0..n).map(|i| (-0.2 + 1.6 * i as f32 / n as f32) * mu).collect();
+    let dnn_curve: Vec<f32> = curve_s.iter().map(|&s| dnn_activation(s, mu)).collect();
+    let plain = StaircaseConfig::plain(mu, t);
+    let biased = StaircaseConfig::bias_added(mu, t);
+    let table = percentile_table(&layer.samples);
+    let (alpha, beta, loss) = find_scaling_factors(&table, mu, t);
+    println!("Algorithm 1 at T={t}: alpha = {alpha:.3}, beta = {beta:.2} (loss {loss:+.3})");
+    let scaled = StaircaseConfig::scaled(mu, t, alpha, beta);
+    let snn_plain: Vec<f32> = curve_s.iter().map(|&s| snn_staircase(s, &plain)).collect();
+    let snn_bias: Vec<f32> = curve_s.iter().map(|&s| snn_staircase(s, &biased)).collect();
+    let snn_ab: Vec<f32> = curve_s.iter().map(|&s| snn_staircase(s, &scaled)).collect();
+
+    // Distribution of pre-activations (the skew that breaks uniform-based
+    // conversion).
+    let positives: Vec<f32> = layer.samples.iter().copied().filter(|&v| v > 0.0).collect();
+    let mut hist = Histogram::new(0.0, mu * 1.2, 48);
+    hist.record_all(&positives);
+    let mass3 = mass_below_fraction_of_max(&positives, 1.0 / 3.0);
+    println!("fraction of positive pre-activations below d_max/3: {:.1} %", mass3 * 100.0);
+
+    // h(T, mu) vs T (Fig. 1a insert) and K(mu).
+    let ts = [1usize, 2, 3, 4, 5, 8, 16];
+    let reports = layer_error_reports(std::slice::from_ref(layer), &ts);
+    let h_by_t: Vec<(usize, f32)> = reports[0].by_t.iter().map(|&(t, h, _)| (t, h)).collect();
+    println!("K(mu) = {:.3}", reports[0].k);
+    println!("h(T,mu): {:?}", h_by_t);
+    println!("(uniform distributions would give K = h = 0.5 everywhere)");
+
+    // ASCII rendering of the staircases for a quick look.
+    println!("\n s/mu    DNN    SNN(T=2)  +bias   a/b-scaled");
+    for i in (0..n).step_by(20) {
+        println!(
+            "{:+.2}  {:>6.3}  {:>7.3}  {:>6.3}  {:>6.3}",
+            curve_s[i] / mu,
+            dnn_curve[i],
+            snn_plain[i],
+            snn_bias[i],
+            snn_ab[i]
+        );
+    }
+
+    let report = Fig1Report {
+        layer_node: layer.node,
+        mu,
+        curve_s,
+        dnn_curve,
+        snn_plain,
+        snn_bias_added: snn_bias,
+        snn_alpha_beta: snn_ab,
+        alpha,
+        beta,
+        histogram_density: hist.density(),
+        histogram_lo: hist.lo,
+        histogram_hi: hist.hi,
+        h_by_t,
+        k_mu: reports[0].k,
+        mass_below_third_of_max: mass3,
+    };
+    let path = write_report("fig1_activation", scale, &report);
+    println!("\nreport written to {}", path.display());
+}

@@ -1,0 +1,257 @@
+//! Shared harness for the experiment binaries and Criterion benches that
+//! regenerate every table and figure of the paper (see DESIGN.md §4 for
+//! the experiment index and EXPERIMENTS.md for recorded results).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::path::PathBuf;
+
+use rand::rngs::StdRng;
+use serde::Serialize;
+use ull_data::{generate, Dataset, SynthCifarConfig};
+use ull_nn::{evaluate, train_epoch, LrSchedule, Network, Sgd, SgdConfig, TrainConfig};
+
+/// Experiment scale, selected with `--scale {tiny,small,paper}`.
+///
+/// * `tiny` — seconds per experiment; CI-sized smoke runs.
+/// * `small` — the default; minutes per experiment on one CPU core, large
+///   enough for every trend in the paper to be visible.
+/// * `paper` — full-width architectures and 32×32 images; only the sizes
+///   of the synthetic dataset and epoch counts remain reduced (full
+///   CIFAR-scale training is beyond a 1-core budget; see DESIGN.md §2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Smoke-test scale.
+    Tiny,
+    /// Default CPU-budget scale.
+    Small,
+    /// Paper-shaped scale (full-width models, 32×32 inputs).
+    Paper,
+}
+
+impl Scale {
+    /// Parses `--scale NAME` from `std::env::args`, defaulting to `small`.
+    pub fn from_args() -> Scale {
+        let args: Vec<String> = std::env::args().collect();
+        for i in 0..args.len() {
+            if args[i] == "--scale" && i + 1 < args.len() {
+                return match args[i + 1].as_str() {
+                    "tiny" => Scale::Tiny,
+                    "paper" => Scale::Paper,
+                    _ => Scale::Small,
+                };
+            }
+        }
+        Scale::Small
+    }
+
+    /// Dataset configuration for this scale.
+    pub fn data(self, classes: usize) -> SynthCifarConfig {
+        match self {
+            Scale::Tiny => SynthCifarConfig::tiny(classes),
+            Scale::Small => {
+                let mut c = SynthCifarConfig::small(classes);
+                // 100-way classification needs more samples per class to be
+                // learnable at all (CIFAR-100 has 500/class; we budget 20).
+                c.train_size = if classes >= 100 { 2048 } else { 1024 };
+                // 100-way needs a cleaner signal at ~20 images/class.
+                c.noise_std = if classes >= 100 { 0.1 } else { c.noise_std };
+                c.jitter = if classes >= 100 { 1 } else { c.jitter };
+                c.test_size = 256;
+                c
+            }
+            Scale::Paper => SynthCifarConfig::paper(classes),
+        }
+    }
+
+    /// Width multiplier for the named architectures.
+    pub fn width(self) -> f32 {
+        match self {
+            Scale::Tiny => 0.125,
+            Scale::Small => 0.25,
+            Scale::Paper => 1.0,
+        }
+    }
+
+    /// DNN training epochs.
+    pub fn dnn_epochs(self) -> usize {
+        match self {
+            Scale::Tiny => 4,
+            Scale::Small => 30,
+            Scale::Paper => 60,
+        }
+    }
+
+    /// SNN fine-tuning epochs.
+    pub fn snn_epochs(self) -> usize {
+        match self {
+            Scale::Tiny => 2,
+            Scale::Small => 6,
+            Scale::Paper => 40,
+        }
+    }
+
+    /// Mini-batch size.
+    pub fn batch(self) -> usize {
+        32
+    }
+
+    /// Short name for report files.
+    pub fn name(self) -> &'static str {
+        match self {
+            Scale::Tiny => "tiny",
+            Scale::Small => "small",
+            Scale::Paper => "paper",
+        }
+    }
+}
+
+/// The architectures Table I evaluates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Arch {
+    /// VGG-11 (configuration A).
+    Vgg11,
+    /// VGG-16 (configuration D).
+    Vgg16,
+    /// ResNet-20 (CIFAR variant).
+    ResNet20,
+}
+
+impl Arch {
+    /// Builds the architecture at the given scale.
+    pub fn build(self, classes: usize, image_size: usize, width: f32, seed: u64) -> Network {
+        match self {
+            Arch::Vgg11 => ull_nn::models::vgg11(classes, image_size, width, seed),
+            Arch::Vgg16 => ull_nn::models::vgg16(classes, image_size, width, seed),
+            Arch::ResNet20 => ull_nn::models::resnet20(classes, image_size, width, seed),
+        }
+    }
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Arch::Vgg11 => "VGG-11",
+            Arch::Vgg16 => "VGG-16",
+            Arch::ResNet20 => "ResNet-20",
+        }
+    }
+}
+
+/// Generates the `(train, test)` pair for a scale and class count.
+pub fn load_data(scale: Scale, classes: usize) -> (Dataset, Dataset) {
+    generate(&scale.data(classes))
+}
+
+/// Trains a DNN with the paper's recipe (SGD momentum, step-decay LR) and
+/// returns its test accuracy.
+pub fn train_dnn(
+    net: &mut Network,
+    train: &Dataset,
+    test: &Dataset,
+    epochs: usize,
+    batch: usize,
+    rng: &mut StdRng,
+) -> f32 {
+    let sgd = Sgd::new(SgdConfig {
+        lr: 0.02,
+        momentum: 0.9,
+        weight_decay: 1e-4,
+    })
+    .with_clip(5.0);
+    let tcfg = TrainConfig {
+        batch_size: batch,
+        augment_pad: 0,
+        augment_flip: false,
+    };
+    let schedule = LrSchedule::paper(epochs).with_warmup(epochs / 10);
+    for e in 0..epochs {
+        train_epoch(net, train, &sgd, schedule.factor(e), &tcfg, rng);
+    }
+    evaluate(net, test, batch)
+}
+
+/// Trains the DNN like [`train_dnn`], but caches the result under
+/// `reports/models/{tag}_{scale}.json` so experiment binaries sharing the
+/// same source network (fig2/fig3/fig4/table2/ablation all train VGG-16)
+/// reuse one training run. Returns `(network, test_accuracy)`.
+pub fn train_or_load_dnn(
+    tag: &str,
+    scale: Scale,
+    arch: Arch,
+    classes: usize,
+    train: &Dataset,
+    test: &Dataset,
+    rng: &mut StdRng,
+) -> (Network, f32) {
+    let dir = report_dir().join("models");
+    std::fs::create_dir_all(&dir).expect("create model cache dir");
+    let path = dir.join(format!("{}_{}_{}.json", tag, classes, scale.name()));
+    if let Ok(net) = ull_nn::load::<Network>(&path) {
+        let acc = evaluate(&net, test, scale.batch());
+        println!("loaded cached DNN from {} (test {:.1} %)", path.display(), acc * 100.0);
+        return (net, acc);
+    }
+    let image = scale.data(classes).image_size;
+    let mut net = arch.build(classes, image, scale.width(), 7);
+    let acc = train_dnn(&mut net, train, test, scale.dnn_epochs(), scale.batch(), rng);
+    ull_nn::save(&net, &path).expect("write model cache");
+    (net, acc)
+}
+
+/// Writes a JSON report under `reports/` (created on demand) and returns
+/// the path.
+///
+/// # Panics
+///
+/// Panics if the report directory cannot be created or the file cannot be
+/// written — experiment results must not be silently lost.
+pub fn write_report<T: Serialize>(name: &str, scale: Scale, payload: &T) -> PathBuf {
+    let dir = report_dir();
+    std::fs::create_dir_all(&dir).expect("create reports directory");
+    let path = dir.join(format!("{}_{}.json", name, scale.name()));
+    let json = serde_json::to_string_pretty(payload).expect("serialise report");
+    std::fs::write(&path, json).expect("write report file");
+    path
+}
+
+fn report_dir() -> PathBuf {
+    // Walk up from the crate to the workspace root's reports/.
+    let mut dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    dir.pop(); // crates/
+    dir.pop(); // workspace root
+    dir.join("reports")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scales_are_ordered_by_cost() {
+        assert!(Scale::Tiny.data(10).train_size < Scale::Small.data(10).train_size);
+        assert!(Scale::Small.data(10).train_size <= Scale::Paper.data(10).train_size);
+        assert!(Scale::Paper.width() > Scale::Small.width());
+    }
+
+    #[test]
+    fn arch_builders_produce_expected_depths() {
+        let v11 = Arch::Vgg11.build(10, 16, 0.125, 1);
+        let v16 = Arch::Vgg16.build(10, 16, 0.125, 1);
+        assert!(v16.threshold_nodes().len() > v11.threshold_nodes().len());
+        let r20 = Arch::ResNet20.build(10, 16, 0.125, 1);
+        assert_eq!(r20.threshold_nodes().len(), 19);
+    }
+
+    #[test]
+    fn write_report_round_trips() {
+        #[derive(Serialize)]
+        struct Tiny {
+            x: u32,
+        }
+        let p = write_report("selftest", Scale::Tiny, &Tiny { x: 7 });
+        let body = std::fs::read_to_string(&p).unwrap();
+        assert!(body.contains("\"x\": 7"));
+        std::fs::remove_file(p).ok();
+    }
+}

@@ -1,0 +1,284 @@
+//! Algorithm 1 of the paper: percentile-driven search for the per-layer
+//! scaling factors (α, β).
+//!
+//! The SNN threshold is set to `α·μ` and the spike output height to
+//! `β·V^th`. For each candidate α — drawn from the *percentiles* of the
+//! layer's DNN pre-activation distribution, which places candidates densely
+//! where the distribution has mass — β sweeps `[0, 2]` in steps of 0.01,
+//! and the pair minimising the summed post-activation difference (Seg-I /
+//! Seg-II / Seg-III of Fig. 1b) wins.
+
+use serde::{Deserialize, Serialize};
+use ull_tensor::stats::percentile_table;
+
+use crate::analysis::LayerActivations;
+
+/// The β grid step prescribed by Algorithm 1.
+pub const BETA_STEP: f32 = 0.01;
+/// The β search range prescribed by Algorithm 1.
+pub const BETA_MAX: f32 = 2.0;
+
+/// Result of the (α, β) search for one layer.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LayerScaling {
+    /// Node id of the threshold layer in the source DNN.
+    pub node: usize,
+    /// Trained DNN threshold μ of the layer.
+    pub mu: f32,
+    /// Chosen threshold scale α ∈ (0, 1].
+    pub alpha: f32,
+    /// Chosen output scale β ∈ [0, 2].
+    pub beta: f32,
+    /// The winning |loss| value.
+    pub loss: f32,
+}
+
+/// `ComputeLoss` of Algorithm 1: the signed post-activation difference
+/// between the DNN threshold-ReLU and the (α, β)-scaled T-step staircase,
+/// summed over the percentile samples `p`.
+///
+/// Three segments (Fig. 1b):
+///
+/// * **Seg-I** `0 ≤ p ≤ αμ`: the staircase step below `p` is
+///   `j = ⌊p·T/(αμ)⌋`, contributing `p − j·αβμ/T`.
+/// * **Seg-II** `αμ < p ≤ μ`: the staircase is saturated at `αβμ`,
+///   contributing `p − αβμ`.
+/// * **Seg-III** `p > μ`: both saturate, contributing `μ − αβμ`.
+///
+/// # Panics
+///
+/// Panics if `mu <= 0`, `alpha <= 0`, or `t == 0`.
+pub fn compute_loss(percentiles: &[f32], mu: f32, alpha: f32, beta: f32, t: usize) -> f32 {
+    assert!(mu > 0.0, "mu must be positive");
+    assert!(alpha > 0.0, "alpha must be positive");
+    assert!(t > 0, "need at least one time step");
+    let tf = t as f32;
+    let amu = alpha * mu;
+    let mut loss = 0.0f64;
+    for &p in percentiles {
+        if p <= 0.0 {
+            continue;
+        }
+        let contribution = if p <= amu {
+            let j = (p * tf / amu).floor().min(tf - 1.0);
+            p - j * alpha * beta * mu / tf
+        } else if p <= mu {
+            p - alpha * beta * mu
+        } else {
+            mu - alpha * beta * mu
+        };
+        loss += contribution as f64;
+    }
+    loss as f32
+}
+
+/// `FindScalingFactors` of Algorithm 1: for each percentile candidate
+/// `α = P[j]/μ` and each `β ∈ {0, 0.01, …, 2}`, evaluates
+/// [`compute_loss`] and returns the (α, β) with the smallest |loss|.
+///
+/// `percentiles` is the table `P[0..=M]` restricted to values ≤ μ; pass
+/// the full activation percentile table and the function trims it.
+///
+/// # Panics
+///
+/// Panics if `mu <= 0`, `t == 0`, or no percentile is positive.
+pub fn find_scaling_factors(percentiles: &[f32], mu: f32, t: usize) -> (f32, f32, f32) {
+    assert!(mu > 0.0, "mu must be positive");
+    assert!(t > 0, "need at least one time step");
+    // Restrict to P[j] ≤ μ (M is the largest index with P[M] ≤ μ) and > 0.
+    let candidates: Vec<f32> = percentiles
+        .iter()
+        .copied()
+        .filter(|&p| p > 0.0 && p <= mu)
+        .collect();
+    assert!(
+        !candidates.is_empty(),
+        "no positive percentile candidates at or below mu"
+    );
+    // Initial factors α = β = 1 (line 1 of Algorithm 1).
+    let mut best = (1.0f32, 1.0f32);
+    let mut best_loss = compute_loss(&candidates, mu, 1.0, 1.0, t);
+    let betas: Vec<f32> = (0..=(BETA_MAX / BETA_STEP) as usize)
+        .map(|i| i as f32 * BETA_STEP)
+        .collect();
+    for &p in &candidates {
+        let alpha = p / mu;
+        for &beta in &betas {
+            let loss = compute_loss(&candidates, mu, alpha, beta, t);
+            if loss.abs() < best_loss.abs() {
+                best = (alpha, beta);
+                best_loss = loss;
+            }
+        }
+    }
+    (best.0, best.1, best_loss)
+}
+
+/// Runs Algorithm 1 on every layer's collected activations, producing the
+/// per-layer scalings the converter consumes.
+pub fn scale_layers(layers: &[LayerActivations], t: usize) -> Vec<LayerScaling> {
+    layers
+        .iter()
+        .map(|layer| {
+            let table = percentile_table(&layer.samples);
+            let (alpha, beta, loss) = find_scaling_factors(&table, layer.mu, t);
+            LayerScaling {
+                node: layer.node,
+                mu: layer.mu,
+                alpha,
+                beta,
+                loss,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::activation::{dnn_activation, snn_staircase, StaircaseConfig};
+
+    fn skewed(mu: f32, n: usize) -> Vec<f32> {
+        (0..n)
+            .map(|i| {
+                let u = (i as f32 + 0.5) / n as f32;
+                ((-u.ln()) * mu / 6.0).min(mu * 1.2)
+            })
+            .collect()
+    }
+
+    fn uniform(mu: f32, n: usize) -> Vec<f32> {
+        (0..n).map(|i| (i as f32 + 0.5) / n as f32 * mu).collect()
+    }
+
+    #[test]
+    fn compute_loss_is_zero_when_curves_match() {
+        // With α=1, β=1 and percentiles exactly on staircase levels the
+        // segments contribute their DNN−SNN gap; check against the direct
+        // evaluation of the two activation functions.
+        let mu = 1.0;
+        let t = 4;
+        let ps = uniform(mu, 50);
+        let direct: f32 = ps
+            .iter()
+            .map(|&p| {
+                dnn_activation(p, mu)
+                    - snn_staircase(p, &StaircaseConfig::scaled(mu, t, 1.0, 1.0))
+            })
+            .sum();
+        let algo = compute_loss(&ps, mu, 1.0, 1.0, t);
+        assert!((direct - algo).abs() < 1e-4, "{direct} vs {algo}");
+    }
+
+    #[test]
+    fn compute_loss_matches_staircase_for_scaled_pairs() {
+        let mu = 2.0;
+        let t = 2;
+        let ps = skewed(mu, 200);
+        for &(a, b) in &[(0.5f32, 1.2f32), (0.25, 0.8), (0.9, 1.0)] {
+            let direct: f32 = ps
+                .iter()
+                .filter(|&&p| p > 0.0)
+                .map(|&p| {
+                    dnn_activation(p, mu) - snn_staircase(p, &StaircaseConfig::scaled(mu, t, a, b))
+                })
+                .sum();
+            let algo = compute_loss(&ps, mu, a, b, t);
+            assert!(
+                (direct - algo).abs() < 1e-3 * ps.len() as f32,
+                "α={a} β={b}: {direct} vs {algo}"
+            );
+        }
+    }
+
+    #[test]
+    fn search_improves_over_identity_for_skewed() {
+        let mu = 1.0;
+        let t = 2;
+        let samples = skewed(mu, 4000);
+        let table = ull_tensor::stats::percentile_table(&samples);
+        let identity_loss = compute_loss(
+            &table.iter().copied().filter(|&p| p > 0.0 && p <= mu).collect::<Vec<_>>(),
+            mu,
+            1.0,
+            1.0,
+            t,
+        );
+        let (alpha, beta, loss) = find_scaling_factors(&table, mu, t);
+        assert!(
+            loss.abs() < identity_loss.abs() * 0.5,
+            "search loss {loss} vs identity {identity_loss}"
+        );
+        // Skewed distributions want a down-scaled threshold.
+        assert!(alpha < 1.0, "alpha = {alpha}");
+        assert!((0.0..=2.0).contains(&beta));
+    }
+
+    #[test]
+    fn search_keeps_identity_for_already_matched_case() {
+        // For uniform percentiles the bias-free staircase still undershoots,
+        // so some (α, β) wins — but the search must never return something
+        // *worse* than identity.
+        let mu = 1.0;
+        let samples = uniform(mu, 2000);
+        let table = ull_tensor::stats::percentile_table(&samples);
+        let cands: Vec<f32> = table.iter().copied().filter(|&p| p > 0.0 && p <= mu).collect();
+        let identity = compute_loss(&cands, mu, 1.0, 1.0, 3);
+        let (_, _, loss) = find_scaling_factors(&table, mu, 3);
+        assert!(loss.abs() <= identity.abs() + 1e-6);
+    }
+
+    #[test]
+    fn alpha_candidates_come_from_percentiles() {
+        let mu = 1.0;
+        let samples = skewed(mu, 1000);
+        let table = ull_tensor::stats::percentile_table(&samples);
+        let (alpha, _, _) = find_scaling_factors(&table, mu, 2);
+        // α must be a percentile divided by μ (or the identity fallback).
+        let ok = (alpha - 1.0).abs() < 1e-6
+            || table.iter().any(|&p| (p / mu - alpha).abs() < 1e-6);
+        assert!(ok, "alpha {alpha} not derived from a percentile");
+    }
+
+    #[test]
+    fn beta_sweep_covers_range() {
+        // With a single sample sitting exactly on a staircase level, the
+        // optimal β exactly cancels the loss; make sure the sweep finds a
+        // near-zero loss (grid resolution 0.01).
+        let mu = 1.0;
+        let ps = vec![0.6f32];
+        let (_, _, loss) = find_scaling_factors(&[0.6, 1.0], mu, 2);
+        let _ = ps;
+        assert!(loss.abs() < 0.05, "loss {loss}");
+    }
+
+    #[test]
+    fn scale_layers_produces_one_scaling_per_layer() {
+        let layers = vec![
+            LayerActivations {
+                node: 2,
+                mu: 1.0,
+                samples: skewed(1.0, 500),
+            },
+            LayerActivations {
+                node: 5,
+                mu: 0.7,
+                samples: skewed(0.7, 500),
+            },
+        ];
+        let scalings = scale_layers(&layers, 2);
+        assert_eq!(scalings.len(), 2);
+        assert_eq!(scalings[0].node, 2);
+        assert_eq!(scalings[1].node, 5);
+        for s in &scalings {
+            assert!(s.alpha > 0.0 && s.alpha <= 1.0);
+            assert!((0.0..=2.0).contains(&s.beta));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no positive percentile")]
+    fn all_negative_percentiles_panic() {
+        find_scaling_factors(&[-1.0, -0.5], 1.0, 2);
+    }
+}

@@ -1,0 +1,117 @@
+//! Human-readable conversion summaries.
+//!
+//! [`ConversionSummary`] gathers everything a practitioner asks after
+//! converting a network — per-layer thresholds and scales, rate errors by
+//! depth, spiking activity — and renders it as a markdown table. The
+//! experiment binaries embed these tables in their reports.
+
+use serde::{Deserialize, Serialize};
+use ull_data::Dataset;
+use ull_nn::Network;
+use ull_snn::{evaluate_snn, SnnNetwork};
+
+use crate::algorithm1::LayerScaling;
+use crate::depth::depth_error_report;
+
+/// Everything worth knowing about one converted SNN.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ConversionSummary {
+    /// Time steps the summary was measured at.
+    pub t: usize,
+    /// Test accuracy of the source DNN.
+    pub dnn_accuracy: f32,
+    /// Test accuracy of the converted SNN.
+    pub snn_accuracy: f32,
+    /// Per-layer scaling decisions.
+    pub scalings: Vec<LayerScaling>,
+    /// Per-layer relative rate error (depth analysis).
+    pub relative_errors: Vec<f32>,
+    /// Per-layer spike rate (spikes per neuron per image over T steps).
+    pub spike_rates: Vec<f64>,
+}
+
+impl ConversionSummary {
+    /// Measures a summary on `test` (accuracy, spike rates) and
+    /// `calibration` (depth errors).
+    pub fn measure(
+        dnn: &Network,
+        snn: &SnnNetwork,
+        scalings: &[LayerScaling],
+        calibration: &Dataset,
+        test: &Dataset,
+        t: usize,
+        batch: usize,
+    ) -> Self {
+        let dnn_accuracy = ull_nn::evaluate(dnn, test, batch);
+        let (snn_accuracy, stats) = evaluate_snn(snn, test, t, batch);
+        let activity = stats.report();
+        let depth = depth_error_report(dnn, snn, calibration, t, 32.min(calibration.len()));
+        let spike_rates = snn
+            .spike_nodes()
+            .iter()
+            .map(|&id| activity.spike_rate[id])
+            .collect();
+        ConversionSummary {
+            t,
+            dnn_accuracy,
+            snn_accuracy,
+            scalings: scalings.to_vec(),
+            relative_errors: depth.relative_errors(),
+            spike_rates,
+        }
+    }
+
+    /// Renders the summary as a markdown table.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "### Conversion summary (T = {}) — DNN {:.2} % → SNN {:.2} %\n\n",
+            self.t,
+            self.dnn_accuracy * 100.0,
+            self.snn_accuracy * 100.0
+        ));
+        out.push_str("| layer | μ | α | β | V^th | rel. rate error | spikes/neuron |\n");
+        out.push_str("|---|---|---|---|---|---|---|\n");
+        for (i, s) in self.scalings.iter().enumerate() {
+            let err = self.relative_errors.get(i).copied().unwrap_or(f32::NAN);
+            let rate = self.spike_rates.get(i).copied().unwrap_or(f64::NAN);
+            out.push_str(&format!(
+                "| {} | {:.3} | {:.3} | {:.2} | {:.3} | {:.3} | {:.3} |\n",
+                s.node,
+                s.mu,
+                s.alpha,
+                s.beta,
+                s.alpha * s.mu,
+                err,
+                rate
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::convert::{convert, ConversionMethod};
+    use ull_data::{generate, SynthCifarConfig};
+    use ull_nn::models;
+
+    #[test]
+    fn summary_measures_and_renders() {
+        let cfg = SynthCifarConfig::tiny(3);
+        let (train, test) = generate(&cfg);
+        let dnn = models::vgg_micro(3, cfg.image_size, 0.25, 44);
+        let (snn, scalings) = convert(&dnn, &train, ConversionMethod::AlphaBeta, 2).unwrap();
+        let summary = ConversionSummary::measure(&dnn, &snn, &scalings, &train, &test, 2, 16);
+        assert_eq!(summary.scalings.len(), dnn.threshold_nodes().len());
+        assert_eq!(summary.relative_errors.len(), summary.scalings.len());
+        assert_eq!(summary.spike_rates.len(), summary.scalings.len());
+        let md = summary.to_markdown();
+        assert!(md.contains("| layer |"));
+        // One row per layer plus the header row (the |---| separator does
+        // not match the "| " prefix).
+        let rows = md.lines().filter(|l| l.starts_with("| ")).count();
+        assert_eq!(rows, summary.scalings.len() + 1);
+    }
+}

@@ -1,0 +1,307 @@
+//! The SynthCifar generator.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use ull_tensor::init::seeded_rng;
+use ull_tensor::Tensor;
+
+use crate::dataset::Dataset;
+
+/// Configuration for a SynthCifar dataset.
+///
+/// `classes = 10` plays the role of CIFAR-10, `classes = 100` of CIFAR-100.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SynthCifarConfig {
+    /// Number of classes (10 or 100 in the paper's experiments).
+    pub classes: usize,
+    /// Square image side in pixels (CIFAR is 32).
+    pub image_size: usize,
+    /// Number of training samples.
+    pub train_size: usize,
+    /// Number of test samples.
+    pub test_size: usize,
+    /// Std-dev of per-pixel Gaussian noise (class difficulty knob).
+    pub noise_std: f32,
+    /// Maximum spatial jitter of the class pattern, in pixels.
+    pub jitter: usize,
+    /// Master seed; train/test derive distinct streams from it.
+    pub seed: u64,
+}
+
+impl SynthCifarConfig {
+    /// A tiny configuration for unit tests: 8×8 images, 64 train / 32 test.
+    pub fn tiny(classes: usize) -> Self {
+        SynthCifarConfig {
+            classes,
+            image_size: 8,
+            train_size: 64,
+            test_size: 32,
+            noise_std: 0.15,
+            jitter: 1,
+            seed: 0xC1FA,
+        }
+    }
+
+    /// A small CPU-budget configuration: 16×16 images.
+    pub fn small(classes: usize) -> Self {
+        SynthCifarConfig {
+            classes,
+            image_size: 16,
+            train_size: 1024,
+            test_size: 256,
+            noise_std: 0.25,
+            jitter: 2,
+            seed: 0xC1FA,
+        }
+    }
+
+    /// A CIFAR-shaped configuration: 32×32 images (sizes still reduced;
+    /// full 50k/10k would be generated the same way but is beyond the CPU
+    /// budget of this reproduction).
+    pub fn paper(classes: usize) -> Self {
+        SynthCifarConfig {
+            classes,
+            image_size: 32,
+            train_size: 4096,
+            test_size: 1024,
+            noise_std: 0.25,
+            jitter: 3,
+            seed: 0xC1FA,
+        }
+    }
+}
+
+/// One textural component of a class prototype.
+#[derive(Debug, Clone, Copy)]
+enum Component {
+    /// Oriented sinusoidal grating.
+    Grating {
+        angle: f32,
+        freq: f32,
+        phase: f32,
+        amp: [f32; 3],
+    },
+    /// Gaussian blob.
+    Blob {
+        cx: f32,
+        cy: f32,
+        sigma: f32,
+        amp: [f32; 3],
+    },
+}
+
+#[derive(Debug, Clone)]
+struct ClassPrototype {
+    components: Vec<Component>,
+}
+
+fn sample_amp(rng: &mut StdRng) -> [f32; 3] {
+    [
+        rng.gen_range(-1.0..1.0),
+        rng.gen_range(-1.0..1.0),
+        rng.gen_range(-1.0..1.0),
+    ]
+}
+
+fn sample_prototype(rng: &mut StdRng) -> ClassPrototype {
+    let n_gratings = rng.gen_range(1..=2);
+    let n_blobs = rng.gen_range(1..=2);
+    let mut components = Vec::new();
+    for _ in 0..n_gratings {
+        components.push(Component::Grating {
+            angle: rng.gen_range(0.0..std::f32::consts::PI),
+            freq: rng.gen_range(1.0..4.0),
+            phase: rng.gen_range(0.0..std::f32::consts::TAU),
+            amp: sample_amp(rng),
+        });
+    }
+    for _ in 0..n_blobs {
+        components.push(Component::Blob {
+            cx: rng.gen_range(0.2..0.8),
+            cy: rng.gen_range(0.2..0.8),
+            sigma: rng.gen_range(0.08..0.25),
+            amp: sample_amp(rng),
+        });
+    }
+    ClassPrototype { components }
+}
+
+/// Renders one sample of `proto` into a `[3, s, s]` tensor.
+fn render(
+    proto: &ClassPrototype,
+    s: usize,
+    cfg: &SynthCifarConfig,
+    rng: &mut StdRng,
+) -> Tensor {
+    let (dx, dy) = if cfg.jitter > 0 {
+        let j = cfg.jitter as f32;
+        (rng.gen_range(-j..=j), rng.gen_range(-j..=j))
+    } else {
+        (0.0, 0.0)
+    };
+    let gain: f32 = rng.gen_range(0.7..1.3);
+    let flip: bool = rng.gen_bool(0.5);
+    let mut img = vec![0.0f32; 3 * s * s];
+    let inv = 1.0 / s as f32;
+    for y in 0..s {
+        for x in 0..s {
+            let px = if flip { s - 1 - x } else { x };
+            // Normalised coordinates of the (jittered) sample point.
+            let u = (px as f32 + dx) * inv;
+            let v = (y as f32 + dy) * inv;
+            for comp in &proto.components {
+                let (value, amp) = match *comp {
+                    Component::Grating {
+                        angle,
+                        freq,
+                        phase,
+                        amp,
+                    } => {
+                        let t = u * angle.cos() + v * angle.sin();
+                        (((t * freq * std::f32::consts::TAU) + phase).sin(), amp)
+                    }
+                    Component::Blob { cx, cy, sigma, amp } => {
+                        let d2 = (u - cx) * (u - cx) + (v - cy) * (v - cy);
+                        ((-d2 / (2.0 * sigma * sigma)).exp(), amp)
+                    }
+                };
+                for c in 0..3 {
+                    img[c * s * s + y * s + x] += gain * amp[c] * value;
+                }
+            }
+        }
+    }
+    for p in &mut img {
+        *p += cfg.noise_std * gauss(rng);
+    }
+    Tensor::from_vec(img, &[3, s, s]).expect("render length by construction")
+}
+
+fn gauss(rng: &mut StdRng) -> f32 {
+    let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+    let u2: f32 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (std::f32::consts::TAU * u2).cos()
+}
+
+/// Generates the `(train, test)` pair described by `cfg`.
+///
+/// The two splits share class prototypes (same underlying "world") but use
+/// disjoint sample-noise streams. Images are standardised per channel with
+/// statistics computed on the training split, mirroring standard CIFAR
+/// preprocessing.
+///
+/// # Panics
+///
+/// Panics if `classes == 0` or `image_size == 0`.
+pub fn generate(cfg: &SynthCifarConfig) -> (Dataset, Dataset) {
+    assert!(cfg.classes > 0, "need at least one class");
+    assert!(cfg.image_size > 0, "image size must be positive");
+    let mut proto_rng = seeded_rng(cfg.seed);
+    let protos: Vec<ClassPrototype> = (0..cfg.classes).map(|_| sample_prototype(&mut proto_rng)).collect();
+
+    let make_split = |count: usize, stream: u64| -> Dataset {
+        let mut rng = seeded_rng(cfg.seed.wrapping_add(stream));
+        let mut images = Vec::with_capacity(count);
+        let mut labels = Vec::with_capacity(count);
+        for i in 0..count {
+            let label = i % cfg.classes; // balanced classes
+            images.push(render(&protos[label], cfg.image_size, cfg, &mut rng));
+            labels.push(label);
+        }
+        Dataset::new(images, labels).expect("balanced split is well formed")
+    };
+
+    let mut train = make_split(cfg.train_size, 0x7261696E); // "rain"
+    let mut test = make_split(cfg.test_size, 0x74657374); // "test"
+
+    // Standardise with train statistics.
+    let stats = train.channel_stats();
+    train.standardize(&stats);
+    test.standardize(&stats);
+    (train, test)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = SynthCifarConfig::tiny(4);
+        let (a, _) = generate(&cfg);
+        let (b, _) = generate(&cfg);
+        assert_eq!(a.image(0).data(), b.image(0).data());
+        assert_eq!(a.labels(), b.labels());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let cfg = SynthCifarConfig::tiny(4);
+        let mut cfg2 = cfg.clone();
+        cfg2.seed = 999;
+        let (a, _) = generate(&cfg);
+        let (b, _) = generate(&cfg2);
+        assert_ne!(a.image(0).data(), b.image(0).data());
+    }
+
+    #[test]
+    fn splits_have_requested_sizes_and_shapes() {
+        let cfg = SynthCifarConfig::tiny(10);
+        let (train, test) = generate(&cfg);
+        assert_eq!(train.len(), 64);
+        assert_eq!(test.len(), 32);
+        assert_eq!(train.image(0).shape(), &[3, 8, 8]);
+    }
+
+    #[test]
+    fn classes_are_balanced() {
+        let cfg = SynthCifarConfig::tiny(4);
+        let (train, _) = generate(&cfg);
+        let mut counts = vec![0usize; 4];
+        for &l in train.labels() {
+            counts[l] += 1;
+        }
+        assert!(counts.iter().all(|&c| c == 16), "{counts:?}");
+    }
+
+    #[test]
+    fn train_split_is_standardised() {
+        let cfg = SynthCifarConfig::tiny(6);
+        let (train, _) = generate(&cfg);
+        // Per-channel mean ~0, std ~1 on the train split.
+        let s = cfg.image_size;
+        for c in 0..3 {
+            let mut vals = Vec::new();
+            for i in 0..train.len() {
+                let img = train.image(i);
+                vals.extend_from_slice(&img.data()[c * s * s..(c + 1) * s * s]);
+            }
+            let m = ull_tensor::stats::moments(&vals);
+            assert!(m.mean.abs() < 0.05, "channel {c} mean {}", m.mean);
+            assert!((m.std - 1.0).abs() < 0.05, "channel {c} std {}", m.std);
+        }
+    }
+
+    #[test]
+    fn same_class_samples_are_similar_but_not_identical() {
+        let cfg = SynthCifarConfig::tiny(2);
+        let (train, _) = generate(&cfg);
+        // Samples 0 and 2 share class 0; 0 and 1 differ in class.
+        let a = train.image(0);
+        let b = train.image(2);
+        assert_eq!(train.labels()[0], train.labels()[2]);
+        assert_ne!(a.data(), b.data());
+    }
+
+    #[test]
+    fn hundred_class_generation_works() {
+        let mut cfg = SynthCifarConfig::tiny(100);
+        cfg.train_size = 200;
+        cfg.test_size = 100;
+        let (train, test) = generate(&cfg);
+        assert_eq!(train.len(), 200);
+        assert_eq!(test.len(), 100);
+        assert_eq!(*train.labels().iter().max().unwrap(), 99);
+    }
+}

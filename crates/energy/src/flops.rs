@@ -1,0 +1,202 @@
+//! MAC counting for DNN layers and the structural analysis shared with the
+//! SNN cost model.
+
+use serde::{Deserialize, Serialize};
+use ull_nn::{Network, NodeId, NodeOp};
+use ull_tensor::Tensor;
+
+/// What feeds a weighted layer: the analog input (direct encoding) or an
+/// upstream spiking layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SourceKind {
+    /// Fed (possibly through pooling/flatten) by the analog network input:
+    /// these MACs stay multiply-accumulate in the SNN.
+    Analog,
+    /// Fed by the spike layer with the given node id: these operations
+    /// become spike-driven accumulates in the SNN.
+    Spiking(NodeId),
+    /// Fed by a residual `Add` — mixed currents; treated as spiking with
+    /// the rate of the nearest spiking ancestor when auditing SNNs.
+    Residual(NodeId),
+}
+
+/// Per-layer MAC count of a weighted node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LayerFlops {
+    /// Node id of the conv/linear layer.
+    pub node: NodeId,
+    /// MAC operations per image.
+    pub macs: u64,
+    /// What drives this layer's inputs.
+    pub source: SourceKind,
+}
+
+/// Structural FLOP audit of a DNN (per single input image).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DnnAudit {
+    /// Per weighted layer, in forward order.
+    pub layers: Vec<LayerFlops>,
+    /// Total MACs per image.
+    pub total_macs: u64,
+}
+
+/// Counts the MACs of every conv/linear layer of `net` for inputs of shape
+/// `[C, H, W]`, and classifies each layer's input source (analog vs
+/// spiking), which the SNN energy model needs.
+///
+/// # Panics
+///
+/// Panics if the network cannot process the given input shape.
+pub fn audit_dnn(net: &Network, input_chw: &[usize]) -> DnnAudit {
+    assert_eq!(input_chw.len(), 3, "input shape must be [C, H, W]");
+    // Propagate shapes with a 1-image forward pass.
+    let x = Tensor::zeros(&[1, input_chw[0], input_chw[1], input_chw[2]]);
+    let acts = net.forward_collect(&x);
+    let mut layers = Vec::new();
+    let mut total = 0u64;
+    for (id, node) in net.nodes().iter().enumerate() {
+        let macs = match &node.op {
+            NodeOp::Conv2d { weight, .. } => {
+                let w = weight.value.shape(); // [F, C, KH, KW]
+                let out = acts[id].shape(); // [1, F, OH, OW]
+                (w[1] * w[2] * w[3]) as u64 * (out[1] * out[2] * out[3]) as u64
+            }
+            NodeOp::Linear { weight, .. } => {
+                let w = weight.value.shape(); // [out, in]
+                (w[0] * w[1]) as u64
+            }
+            _ => continue,
+        };
+        let source = classify_source(net, id);
+        layers.push(LayerFlops {
+            node: id,
+            macs,
+            source,
+        });
+        total += macs;
+    }
+    DnnAudit {
+        layers,
+        total_macs: total,
+    }
+}
+
+/// Walks upstream from weighted node `id` through scale-transparent ops to
+/// find what drives it.
+pub(crate) fn classify_source(net: &Network, id: NodeId) -> SourceKind {
+    let mut cur = net.nodes()[id].inputs[0];
+    loop {
+        match &net.nodes()[cur].op {
+            NodeOp::Input => return SourceKind::Analog,
+            NodeOp::ThresholdRelu { .. } => return SourceKind::Spiking(cur),
+            NodeOp::Add => {
+                // Follow the first branch to the nearest activation.
+                let probe = nearest_activation(net, cur);
+                return SourceKind::Residual(probe.unwrap_or(cur));
+            }
+            NodeOp::MaxPool2d { .. }
+            | NodeOp::AvgPool2d { .. }
+            | NodeOp::Dropout { .. }
+            | NodeOp::Flatten => {
+                cur = net.nodes()[cur].inputs[0];
+            }
+            // Weighted layers feeding weighted layers directly (no
+            // activation in between) behave like analog currents.
+            NodeOp::Conv2d { .. } | NodeOp::Linear { .. } | NodeOp::Relu => {
+                return SourceKind::Analog
+            }
+        }
+    }
+}
+
+fn nearest_activation(net: &Network, from: NodeId) -> Option<NodeId> {
+    let mut stack = vec![from];
+    while let Some(n) = stack.pop() {
+        for &inp in &net.nodes()[n].inputs {
+            match &net.nodes()[inp].op {
+                NodeOp::ThresholdRelu { .. } => return Some(inp),
+                _ => stack.push(inp),
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ull_nn::{models, NetworkBuilder};
+
+    #[test]
+    fn conv_macs_match_formula() {
+        let mut b = NetworkBuilder::new(3, 8, 1);
+        b.conv2d(4, 3, 1, 1); // 3·3·3 per output elem, 4·8·8 outputs
+        b.threshold_relu(1.0);
+        b.flatten();
+        b.linear(10);
+        let net = b.build();
+        let audit = audit_dnn(&net, &[3, 8, 8]);
+        assert_eq!(audit.layers.len(), 2);
+        assert_eq!(audit.layers[0].macs, 27 * 4 * 64);
+        assert_eq!(audit.layers[1].macs, (4 * 64 * 10) as u64);
+        assert_eq!(audit.total_macs, 27 * 4 * 64 + 4 * 64 * 10);
+    }
+
+    #[test]
+    fn first_layer_is_analog_rest_are_spiking() {
+        let net = models::vgg_micro(10, 8, 0.25, 2);
+        let audit = audit_dnn(&net, &[3, 8, 8]);
+        assert_eq!(audit.layers[0].source, SourceKind::Analog);
+        for l in &audit.layers[1..] {
+            assert!(
+                matches!(l.source, SourceKind::Spiking(_)),
+                "layer {} has source {:?}",
+                l.node,
+                l.source
+            );
+        }
+    }
+
+    #[test]
+    fn pooling_is_transparent_for_source_classification() {
+        let mut b = NetworkBuilder::new(3, 8, 3);
+        b.conv2d(4, 3, 1, 1);
+        b.threshold_relu(1.0);
+        b.maxpool(2);
+        b.conv2d(8, 3, 1, 1);
+        b.threshold_relu(1.0);
+        b.flatten();
+        b.linear(2);
+        let net = b.build();
+        let audit = audit_dnn(&net, &[3, 8, 8]);
+        // Second conv sees spikes through the pool.
+        assert!(matches!(audit.layers[1].source, SourceKind::Spiking(_)));
+        // Final linear sees spikes through flatten.
+        assert!(matches!(audit.layers[2].source, SourceKind::Spiking(_)));
+    }
+
+    #[test]
+    fn resnet_shortcut_convs_are_classified() {
+        let net = models::resnet_micro(4, 8, 0.5, 4);
+        let audit = audit_dnn(&net, &[3, 8, 8]);
+        assert!(audit.total_macs > 0);
+        // Every weighted layer got a classification without panicking.
+        assert_eq!(
+            audit.layers.len(),
+            net.nodes()
+                .iter()
+                .filter(|n| matches!(n.op, NodeOp::Conv2d { .. } | NodeOp::Linear { .. }))
+                .count()
+        );
+    }
+
+    #[test]
+    fn vgg16_full_width_flops_are_paper_scale() {
+        // VGG-16 on 32×32 is ~0.31 GMACs in the literature (our variant
+        // has a single small FC head, so slightly less).
+        let net = models::vgg16(10, 32, 1.0, 5);
+        let audit = audit_dnn(&net, &[3, 32, 32]);
+        let gmacs = audit.total_macs as f64 / 1e9;
+        assert!(gmacs > 0.2 && gmacs < 0.4, "GMACs = {gmacs}");
+    }
+}

@@ -1,0 +1,39 @@
+//! FLOP counting and inference-energy models (paper §VI).
+//!
+//! The paper measures compute efficiency in three steps:
+//!
+//! 1. **Spiking activity** (Fig. 4a) — average spikes per neuron per image,
+//!    collected by `ull-snn` during inference.
+//! 2. **FLOPs** (Fig. 4b) — a DNN layer costs its MAC count; an SNN hidden
+//!    layer costs one AC per incoming spike per synapse, i.e.
+//!    `ζ_in · MACs`, where `ζ_in` is the average spike count per input
+//!    neuron over all T steps. The first layer is analog (direct encoding)
+//!    and performs its MACs every time step.
+//! 3. **Compute energy** (Fig. 4c) — `E_MAC = 3.2 pJ`, `E_AC = 0.1 pJ`
+//!    (45 nm CMOS at 0.9 V, Horowitz ISSCC'14), plus normalised
+//!    neuromorphic models for TrueNorth (0.4, 0.6) and SpiNNaker
+//!    (0.64, 0.36) where `total = FLOPs·E_compute + T·E_static`.
+//!
+//! # Example
+//!
+//! ```
+//! use ull_energy::{audit_dnn, EnergyModel};
+//! use ull_nn::models;
+//!
+//! let dnn = models::vgg_micro(10, 8, 0.25, 1);
+//! let audit = audit_dnn(&dnn, &[3, 8, 8]);
+//! assert!(audit.total_macs > 0);
+//! let pj = EnergyModel::CMOS_45NM.dnn_energy_pj(&audit);
+//! assert!(pj > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod activity;
+mod flops;
+mod model;
+
+pub use activity::{audit_snn, SnnAudit, SnnLayerCost};
+pub use flops::{audit_dnn, DnnAudit, LayerFlops, SourceKind};
+pub use model::{ComparisonRow, EnergyModel, NeuromorphicModel};

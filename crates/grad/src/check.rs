@@ -1,0 +1,165 @@
+//! Central finite-difference gradient checking.
+//!
+//! [`check_gradient`] compares an analytic gradient against the
+//! central-difference estimate `(f(x+ε) − f(x−ε)) / 2ε` coordinate by
+//! coordinate and reports the worst relative error. Every manual backward
+//! pass in `ull-nn` and `ull-snn` is validated with this in its tests.
+
+use ull_tensor::Tensor;
+
+/// Outcome of a finite-difference gradient check.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GradCheckReport {
+    /// Largest relative error found across checked coordinates.
+    pub max_rel_error: f32,
+    /// Largest absolute error found across checked coordinates.
+    pub max_abs_error: f32,
+    /// Index of the worst coordinate.
+    pub worst_index: usize,
+    /// Number of coordinates checked.
+    pub checked: usize,
+}
+
+impl GradCheckReport {
+    /// `true` if the worst relative error is below `tol` (with an absolute
+    /// floor of `tol` for near-zero gradients).
+    pub fn passes(&self, tol: f32) -> bool {
+        self.max_rel_error < tol || self.max_abs_error < tol
+    }
+}
+
+/// Checks `analytic` against finite differences of `f` at `x`.
+///
+/// `f` must be a pure function of `x` (deterministic, no internal RNG
+/// advancement), and should return the *scalar* loss. When `stride > 1`
+/// only every `stride`-th coordinate is probed — useful for big tensors.
+///
+/// # Panics
+///
+/// Panics if `analytic.shape() != x.shape()` or `stride == 0`.
+pub fn check_gradient(
+    f: &mut dyn FnMut(&Tensor) -> f32,
+    x: &Tensor,
+    analytic: &Tensor,
+    eps: f32,
+    stride: usize,
+) -> GradCheckReport {
+    assert_eq!(
+        x.shape(),
+        analytic.shape(),
+        "gradient shape must match input shape"
+    );
+    assert!(stride > 0, "stride must be positive");
+    let mut max_rel = 0.0f32;
+    let mut max_abs = 0.0f32;
+    let mut worst = 0usize;
+    let mut checked = 0usize;
+    for i in (0..x.len()).step_by(stride) {
+        let mut xp = x.clone();
+        xp.data_mut()[i] += eps;
+        let mut xm = x.clone();
+        xm.data_mut()[i] -= eps;
+        let fd = (f(&xp) - f(&xm)) / (2.0 * eps);
+        let an = analytic.data()[i];
+        let abs = (fd - an).abs();
+        let rel = abs / fd.abs().max(an.abs()).max(1e-4);
+        if rel > max_rel {
+            max_rel = rel;
+            worst = i;
+        }
+        max_abs = max_abs.max(abs);
+        checked += 1;
+    }
+    GradCheckReport {
+        max_rel_error: max_rel,
+        max_abs_error: max_abs,
+        worst_index: worst,
+        checked,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Graph;
+    use ull_tensor::conv::ConvGeometry;
+    use ull_tensor::init::{normal, seeded_rng};
+
+    #[test]
+    fn catches_a_wrong_gradient() {
+        let x = Tensor::from_slice(&[1.0, 2.0]);
+        // f = sum of squares, true grad = 2x, feed a wrong one.
+        let wrong = Tensor::from_slice(&[2.0, 100.0]);
+        let mut f = |t: &Tensor| t.data().iter().map(|v| v * v).sum::<f32>();
+        let rep = check_gradient(&mut f, &x, &wrong, 1e-3, 1);
+        assert!(!rep.passes(1e-2));
+        assert_eq!(rep.worst_index, 1);
+    }
+
+    #[test]
+    fn passes_a_correct_gradient() {
+        let x = Tensor::from_slice(&[1.0, -2.0, 0.5]);
+        let correct = x.scale(2.0);
+        let mut f = |t: &Tensor| t.data().iter().map(|v| v * v).sum::<f32>();
+        let rep = check_gradient(&mut f, &x, &correct, 1e-3, 1);
+        assert!(rep.passes(1e-3), "worst rel {}", rep.max_rel_error);
+        assert_eq!(rep.checked, 3);
+    }
+
+    #[test]
+    fn graph_conv_pipeline_passes_fd_check() {
+        // End-to-end: conv -> clip-threshold -> maxpool -> reshape -> CE loss,
+        // checking the *input* gradient of the whole composite.
+        let mut rng = seeded_rng(11);
+        let x0 = normal(&[1, 2, 4, 4], 0.0, 1.0, &mut rng);
+        let w0 = normal(&[3, 2, 3, 3], 0.0, 0.5, &mut rng);
+        let b0 = normal(&[3], 0.0, 0.1, &mut rng);
+        let geo = ConvGeometry::square(3, 1, 1);
+        let labels = vec![1usize];
+
+        let mut run = |xv: &Tensor| -> f32 {
+            let mut g = Graph::new();
+            let x = g.input(xv.clone());
+            let w = g.input(w0.clone());
+            let b = g.input(b0.clone());
+            let mu = g.input(Tensor::from_slice(&[0.8]));
+            let c = g.conv2d(x, w, Some(b), geo);
+            let a = g.clip_threshold(c, mu);
+            let p = g.maxpool2d(a, 2);
+            let r = g.reshape(p, &[1, 12]);
+            let loss = g.softmax_cross_entropy(r, &labels);
+            g.value(loss).data()[0]
+        };
+
+        // Analytic gradient from one tape pass.
+        let mut g = Graph::new();
+        let x = g.input(x0.clone());
+        let w = g.input(w0.clone());
+        let b = g.input(b0.clone());
+        let mu = g.input(Tensor::from_slice(&[0.8]));
+        let c = g.conv2d(x, w, Some(b), geo);
+        let a = g.clip_threshold(c, mu);
+        let p = g.maxpool2d(a, 2);
+        let r = g.reshape(p, &[1, 12]);
+        let loss = g.softmax_cross_entropy(r, &labels);
+        g.backward(loss);
+        let analytic = g.grad(x).clone();
+
+        let rep = check_gradient(&mut run, &x0, &analytic, 1e-2, 1);
+        assert!(
+            rep.passes(5e-2),
+            "worst rel {} at {}",
+            rep.max_rel_error,
+            rep.worst_index
+        );
+    }
+
+    #[test]
+    fn stride_skips_coordinates() {
+        let x = Tensor::zeros(&[10]);
+        let g = Tensor::zeros(&[10]);
+        let mut f = |_: &Tensor| 0.0;
+        let rep = check_gradient(&mut f, &x, &g, 1e-3, 3);
+        assert_eq!(rep.checked, 4); // indices 0,3,6,9
+    }
+}

@@ -1,0 +1,34 @@
+//! Reverse-mode tape autograd over [`ull_tensor::Tensor`].
+//!
+//! This crate is the *gradient oracle* of the workspace: the hand-written
+//! backward passes in `ull-nn` and `ull-snn` are validated against (a) this
+//! tape engine and (b) central finite differences ([`check`]). It is not the
+//! training hot path — the manual layer implementations are — so it favours
+//! clarity over speed.
+//!
+//! # Example
+//!
+//! ```
+//! use ull_grad::Graph;
+//! use ull_tensor::Tensor;
+//!
+//! let mut g = Graph::new();
+//! let x = g.input(Tensor::from_vec(vec![1.0, -2.0, 3.0, 0.5], &[2, 2])?);
+//! let w = g.input(Tensor::eye(2));
+//! let y = g.matmul(x, w);
+//! let r = g.relu(y);
+//! let loss = g.sum(r);
+//! g.backward(loss);
+//! // d(sum ∘ relu)/dx is 1 where x > 0.
+//! assert_eq!(g.grad(x).data(), &[1.0, 0.0, 1.0, 1.0]);
+//! # Ok::<(), ull_tensor::TensorError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod check;
+mod graph;
+
+pub use check::{check_gradient, GradCheckReport};
+pub use graph::{Graph, Var};

@@ -1,0 +1,79 @@
+//! Saving and loading trained networks as JSON checkpoints.
+//!
+//! Both [`Network`](crate::Network) and `ull-snn`'s `SnnNetwork` derive
+//! serde, so checkpoints round-trip exactly (weights, thresholds, momentum
+//! buffers and all). JSON is chosen over a binary format deliberately:
+//! checkpoints double as inspectable experiment artifacts.
+
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use serde::de::DeserializeOwned;
+use serde::Serialize;
+
+/// Writes any serde-serialisable model to `path` as pretty JSON.
+///
+/// # Errors
+///
+/// Returns an [`io::Error`] if serialisation or the file write fails.
+pub fn save<T: Serialize>(model: &T, path: impl AsRef<Path>) -> io::Result<()> {
+    let json = serde_json::to_string(model).map_err(io::Error::other)?;
+    fs::write(path, json)
+}
+
+/// Reads a model saved by [`save`].
+///
+/// # Errors
+///
+/// Returns an [`io::Error`] if the file cannot be read or parsed.
+pub fn load<T: DeserializeOwned>(path: impl AsRef<Path>) -> io::Result<T> {
+    let json = fs::read_to_string(path)?;
+    serde_json::from_str(&json).map_err(io::Error::other)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Network, NetworkBuilder};
+    use ull_tensor::Tensor;
+
+    fn tiny() -> Network {
+        let mut b = NetworkBuilder::new(1, 4, 3);
+        b.conv2d(2, 3, 1, 1);
+        b.threshold_relu(1.0);
+        b.flatten();
+        b.linear(2);
+        b.build()
+    }
+
+    #[test]
+    fn save_load_round_trip() {
+        let net = tiny();
+        let dir = std::env::temp_dir().join("ull_nn_ckpt_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("net.json");
+        save(&net, &path).unwrap();
+        let back: Network = load(&path).unwrap();
+        let x = Tensor::ones(&[1, 1, 4, 4]);
+        assert_eq!(back.forward_eval(&x), net.forward_eval(&x));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn load_missing_file_errors() {
+        let r: io::Result<Network> = load("/nonexistent/definitely/not/here.json");
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn load_corrupt_file_errors() {
+        let dir = std::env::temp_dir().join("ull_nn_ckpt_test2");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.json");
+        std::fs::write(&path, "{not json").unwrap();
+        let r: io::Result<Network> = load(&path);
+        assert!(r.is_err());
+        std::fs::remove_file(path).ok();
+    }
+}

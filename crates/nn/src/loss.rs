@@ -1,0 +1,96 @@
+//! Softmax cross-entropy loss for classification.
+
+use ull_tensor::Tensor;
+
+/// Mean softmax cross-entropy of `[N, classes]` logits against labels.
+///
+/// # Panics
+///
+/// Panics if `logits` is not rank 2, `labels.len() != N`, or a label is out
+/// of range.
+pub fn cross_entropy_loss(logits: &Tensor, labels: &[usize]) -> f32 {
+    let (n, classes) = check(logits, labels);
+    let ls = logits.log_softmax_rows();
+    let mut loss = 0.0;
+    for (r, &y) in labels.iter().enumerate() {
+        assert!(y < classes, "label {y} out of range for {classes} classes");
+        loss -= ls.data()[r * classes + y];
+    }
+    loss / n as f32
+}
+
+/// Gradient of [`cross_entropy_loss`] with respect to the logits:
+/// `(softmax − one_hot) / N`.
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`cross_entropy_loss`].
+pub fn cross_entropy_grad(logits: &Tensor, labels: &[usize]) -> Tensor {
+    let (n, classes) = check(logits, labels);
+    let mut g = logits.softmax_rows();
+    {
+        let gd = g.data_mut();
+        for (r, &y) in labels.iter().enumerate() {
+            assert!(y < classes, "label {y} out of range for {classes} classes");
+            gd[r * classes + y] -= 1.0;
+        }
+    }
+    g.scale_in_place(1.0 / n as f32);
+    g
+}
+
+fn check(logits: &Tensor, labels: &[usize]) -> (usize, usize) {
+    assert_eq!(logits.rank(), 2, "logits must be [N, classes]");
+    let n = logits.shape()[0];
+    assert_eq!(labels.len(), n, "labels length must match batch size");
+    (n, logits.shape()[1])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_logits_give_log_classes() {
+        let logits = Tensor::zeros(&[2, 4]);
+        let loss = cross_entropy_loss(&logits, &[0, 3]);
+        assert!((loss - (4.0f32).ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn confident_correct_prediction_is_cheap() {
+        let logits = Tensor::from_vec(vec![10.0, 0.0, 0.0], &[1, 3]).unwrap();
+        assert!(cross_entropy_loss(&logits, &[0]) < 1e-3);
+        assert!(cross_entropy_loss(&logits, &[1]) > 5.0);
+    }
+
+    #[test]
+    fn grad_matches_finite_differences() {
+        let logits = Tensor::from_vec(vec![0.2, -0.5, 1.3, 0.0, 0.7, -1.0], &[2, 3]).unwrap();
+        let labels = [2usize, 1];
+        let g = cross_entropy_grad(&logits, &labels);
+        let eps = 1e-3;
+        for i in 0..logits.len() {
+            let mut lp = logits.clone();
+            lp.data_mut()[i] += eps;
+            let mut lm = logits.clone();
+            lm.data_mut()[i] -= eps;
+            let fd = (cross_entropy_loss(&lp, &labels) - cross_entropy_loss(&lm, &labels)) / (2.0 * eps);
+            assert!((fd - g.data()[i]).abs() < 1e-3, "i={i}: {fd} vs {}", g.data()[i]);
+        }
+    }
+
+    #[test]
+    fn grad_rows_sum_to_zero() {
+        let logits = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[1, 3]).unwrap();
+        let g = cross_entropy_grad(&logits, &[0]);
+        assert!(g.sum().abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_label_panics() {
+        let logits = Tensor::zeros(&[1, 2]);
+        cross_entropy_loss(&logits, &[5]);
+    }
+}

@@ -1,0 +1,168 @@
+//! Classification metrics beyond plain top-1 accuracy.
+
+use serde::{Deserialize, Serialize};
+use ull_tensor::Tensor;
+
+/// Top-k accuracy: fraction of samples whose true label is among the `k`
+/// highest logits.
+///
+/// # Panics
+///
+/// Panics if `logits` is not rank 2, `k == 0`, `k > classes`, or
+/// `labels.len()` differs from the batch size.
+pub fn top_k_accuracy(logits: &Tensor, labels: &[usize], k: usize) -> f32 {
+    assert_eq!(logits.rank(), 2, "logits must be [N, classes]");
+    let (n, classes) = (logits.shape()[0], logits.shape()[1]);
+    assert!(k > 0 && k <= classes, "k must be in 1..=classes");
+    assert_eq!(labels.len(), n, "labels/batch mismatch");
+    let mut hits = 0usize;
+    for (r, &y) in labels.iter().enumerate() {
+        let row = &logits.data()[r * classes..(r + 1) * classes];
+        let target = row[y];
+        // Count entries strictly greater than the target's logit; ties
+        // resolve in favour of the target (standard convention).
+        let better = row.iter().filter(|&&v| v > target).count();
+        if better < k {
+            hits += 1;
+        }
+    }
+    hits as f32 / n.max(1) as f32
+}
+
+/// A confusion matrix for a `classes`-way classifier.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConfusionMatrix {
+    classes: usize,
+    /// `counts[true * classes + predicted]`.
+    counts: Vec<u64>,
+}
+
+impl ConfusionMatrix {
+    /// An empty matrix for `classes` classes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `classes == 0`.
+    pub fn new(classes: usize) -> Self {
+        assert!(classes > 0, "need at least one class");
+        ConfusionMatrix {
+            classes,
+            counts: vec![0; classes * classes],
+        }
+    }
+
+    /// Number of classes.
+    pub fn classes(&self) -> usize {
+        self.classes
+    }
+
+    /// Records a batch of predictions.
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatch or out-of-range labels.
+    pub fn record(&mut self, predictions: &[usize], labels: &[usize]) {
+        assert_eq!(predictions.len(), labels.len(), "length mismatch");
+        for (&p, &y) in predictions.iter().zip(labels) {
+            assert!(p < self.classes && y < self.classes, "label out of range");
+            self.counts[y * self.classes + p] += 1;
+        }
+    }
+
+    /// Count of samples with true class `t` predicted as `p`.
+    pub fn count(&self, t: usize, p: usize) -> u64 {
+        self.counts[t * self.classes + p]
+    }
+
+    /// Total recorded samples.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Overall accuracy (trace / total); 0 if empty.
+    pub fn accuracy(&self) -> f32 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let correct: u64 = (0..self.classes).map(|c| self.count(c, c)).sum();
+        correct as f32 / total as f32
+    }
+
+    /// Per-class recall (correct / true-count), `None` for unseen classes.
+    pub fn recall(&self, class: usize) -> Option<f32> {
+        let row: u64 = (0..self.classes).map(|p| self.count(class, p)).sum();
+        if row == 0 {
+            None
+        } else {
+            Some(self.count(class, class) as f32 / row as f32)
+        }
+    }
+
+    /// Per-class precision (correct / predicted-count), `None` if the
+    /// class was never predicted.
+    pub fn precision(&self, class: usize) -> Option<f32> {
+        let col: u64 = (0..self.classes).map(|t| self.count(t, class)).sum();
+        if col == 0 {
+            None
+        } else {
+            Some(self.count(class, class) as f32 / col as f32)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn top1_equals_argmax_accuracy() {
+        let logits = Tensor::from_vec(vec![0.9, 0.1, 0.2, 0.8], &[2, 2]).unwrap();
+        assert_eq!(top_k_accuracy(&logits, &[0, 1], 1), 1.0);
+        assert_eq!(top_k_accuracy(&logits, &[1, 0], 1), 0.0);
+    }
+
+    #[test]
+    fn topk_widens_the_net() {
+        let logits = Tensor::from_vec(vec![0.5, 0.3, 0.2], &[1, 3]).unwrap();
+        assert_eq!(top_k_accuracy(&logits, &[2], 1), 0.0);
+        assert_eq!(top_k_accuracy(&logits, &[2], 3), 1.0);
+        assert_eq!(top_k_accuracy(&logits, &[1], 2), 1.0);
+    }
+
+    #[test]
+    fn confusion_matrix_bookkeeping() {
+        let mut m = ConfusionMatrix::new(3);
+        m.record(&[0, 1, 2, 0], &[0, 1, 1, 2]);
+        assert_eq!(m.total(), 4);
+        assert_eq!(m.count(1, 2), 1);
+        assert_eq!(m.count(2, 0), 1);
+        assert!((m.accuracy() - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn recall_and_precision() {
+        let mut m = ConfusionMatrix::new(2);
+        // true 0: predicted 0, 0, 1.  true 1: predicted 1.
+        m.record(&[0, 0, 1, 1], &[0, 0, 0, 1]);
+        assert!((m.recall(0).unwrap() - 2.0 / 3.0).abs() < 1e-6);
+        assert_eq!(m.recall(1), Some(1.0));
+        assert_eq!(m.precision(0), Some(1.0));
+        assert!((m.precision(1).unwrap() - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn unseen_class_yields_none() {
+        let m = ConfusionMatrix::new(4);
+        assert_eq!(m.recall(3), None);
+        assert_eq!(m.precision(3), None);
+        assert_eq!(m.accuracy(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_label_panics() {
+        let mut m = ConfusionMatrix::new(2);
+        m.record(&[5], &[0]);
+    }
+}

@@ -1,0 +1,299 @@
+//! Model builders: the VGG and ResNet variants the paper evaluates.
+//!
+//! Architectures follow the paper's constraints (§IV-A): **no batch
+//! normalisation**, Dropout as the only regulariser, **max pooling** kept,
+//! trainable-threshold ReLU everywhere, and bias-free conv/linear layers so
+//! DNN→SNN threshold balancing is exact.
+//!
+//! Every builder takes a `width` multiplier so the same topology can run at
+//! paper scale (`width = 1.0`) or at a CPU-budget scale (e.g. `0.25`), and
+//! an `image_size` so SynthCifar's smaller images work: pooling stages are
+//! skipped automatically once the spatial size reaches 1×1.
+
+use crate::{Network, NetworkBuilder};
+
+/// Default initial value for trainable thresholds μ. Large enough that the
+/// clip is initially inactive for standardised inputs, small enough that
+/// gradients reach it early in training.
+pub const MU_INIT: f32 = 3.0;
+
+fn scaled(ch: usize, width: f32) -> usize {
+    ((ch as f32 * width).round() as usize).max(4)
+}
+
+/// One VGG "stage plan" entry: `Conv(c)` or a max pool.
+enum VggItem {
+    Conv(usize),
+    Pool,
+}
+
+fn vgg(plan: &[VggItem], classes: usize, image_size: usize, width: f32, seed: u64) -> Network {
+    let mut b = NetworkBuilder::new(3, image_size, seed);
+    for item in plan {
+        match *item {
+            VggItem::Conv(c) => {
+                b.conv2d(scaled(c, width), 3, 1, 1);
+                b.threshold_relu(MU_INIT);
+            }
+            VggItem::Pool => {
+                // Skip pools that would shrink below 1×1 (small SynthCifar images).
+                let (_, h, _) = b.spatial();
+                if h >= 2 {
+                    b.maxpool(2);
+                }
+            }
+        }
+    }
+    b.flatten();
+    b.dropout(0.5);
+    // Width-reduced models keep a classifier wide enough for the label
+    // space: at least 2 features per class survive the 0.5 dropout.
+    let hidden = scaled(512, width).max(4 * classes);
+    b.linear(hidden);
+    b.threshold_relu(MU_INIT);
+    b.dropout(0.5);
+    b.linear(classes);
+    b.build()
+}
+
+/// VGG-11 (configuration A) for `image_size`² RGB inputs.
+///
+/// # Example
+///
+/// ```
+/// let net = ull_nn::models::vgg11(10, 16, 0.25, 1);
+/// assert!(net.param_count() > 0);
+/// ```
+pub fn vgg11(classes: usize, image_size: usize, width: f32, seed: u64) -> Network {
+    use VggItem::{Conv, Pool};
+    vgg(
+        &[
+            Conv(64),
+            Pool,
+            Conv(128),
+            Pool,
+            Conv(256),
+            Conv(256),
+            Pool,
+            Conv(512),
+            Conv(512),
+            Pool,
+            Conv(512),
+            Conv(512),
+            Pool,
+        ],
+        classes,
+        image_size,
+        width,
+        seed,
+    )
+}
+
+/// VGG-16 (configuration D) for `image_size`² RGB inputs.
+pub fn vgg16(classes: usize, image_size: usize, width: f32, seed: u64) -> Network {
+    use VggItem::{Conv, Pool};
+    vgg(
+        &[
+            Conv(64),
+            Conv(64),
+            Pool,
+            Conv(128),
+            Conv(128),
+            Pool,
+            Conv(256),
+            Conv(256),
+            Conv(256),
+            Pool,
+            Conv(512),
+            Conv(512),
+            Conv(512),
+            Pool,
+            Conv(512),
+            Conv(512),
+            Conv(512),
+            Pool,
+        ],
+        classes,
+        image_size,
+        width,
+        seed,
+    )
+}
+
+/// A compact VGG-style network (4 conv layers) for fast tests and examples.
+pub fn vgg_micro(classes: usize, image_size: usize, width: f32, seed: u64) -> Network {
+    use VggItem::{Conv, Pool};
+    vgg(
+        &[Conv(32), Pool, Conv(64), Pool, Conv(128), Conv(128), Pool],
+        classes,
+        image_size,
+        width,
+        seed,
+    )
+}
+
+/// ResNet-20 (He et al., CIFAR variant): 3 stages of 3 basic blocks with
+/// 16/32/64 base channels, option-B (1×1 conv) shortcuts at stage
+/// boundaries, global average pooling head.
+pub fn resnet20(classes: usize, image_size: usize, width: f32, seed: u64) -> Network {
+    resnet(classes, image_size, width, seed, 3)
+}
+
+/// A 2-stage, 1-block-per-stage residual network for fast tests.
+pub fn resnet_micro(classes: usize, image_size: usize, width: f32, seed: u64) -> Network {
+    resnet(classes, image_size, width, seed, 1)
+}
+
+fn resnet(classes: usize, image_size: usize, width: f32, seed: u64, blocks_per_stage: usize) -> Network {
+    let mut b = NetworkBuilder::new(3, image_size, seed);
+    let stem = scaled(16, width);
+    b.conv2d(stem, 3, 1, 1);
+    b.threshold_relu(MU_INIT);
+
+    let stages: &[usize] = if blocks_per_stage == 1 {
+        &[16, 32]
+    } else {
+        &[16, 32, 64]
+    };
+    for (si, &base) in stages.iter().enumerate() {
+        let ch = scaled(base, width);
+        for bi in 0..blocks_per_stage {
+            // Down-sample on the first block of stages after the first, but
+            // only while the spatial size allows it.
+            let (in_ch, h, w) = b.spatial();
+            let stride = if si > 0 && bi == 0 && h >= 2 { 2 } else { 1 };
+            basic_block(&mut b, in_ch, ch, stride, (h, w));
+        }
+    }
+
+    let (c, h, _) = b.spatial();
+    if h > 1 {
+        b.avgpool(h); // global average pool
+    }
+    b.flatten();
+    b.linear(classes);
+    let _ = c;
+    b.build()
+}
+
+/// Adds one pre-activationless basic block:
+/// `x → conv3x3(stride) → act → conv3x3 → (+ shortcut) → act`.
+fn basic_block(
+    b: &mut NetworkBuilder,
+    in_ch: usize,
+    out_ch: usize,
+    stride: usize,
+    (h, w): (usize, usize),
+) {
+    let entry = b.cursor();
+    b.conv2d(out_ch, 3, stride, 1);
+    b.threshold_relu(MU_INIT);
+    b.conv2d(out_ch, 3, 1, 1);
+    let main = b.cursor();
+    let (oh, ow) = (h / stride, w / stride);
+
+    let shortcut = if stride != 1 || in_ch != out_ch {
+        // Option-B projection shortcut.
+        b.set_cursor(entry, (in_ch, h, w));
+        b.conv2d(out_ch, 1, stride, 0);
+        b.cursor()
+    } else {
+        entry
+    };
+    b.add(main, shortcut, (out_ch, oh, ow));
+    b.threshold_relu(MU_INIT);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ull_tensor::Tensor;
+
+    fn forward_ok(net: &Network, size: usize, classes: usize) {
+        let x = Tensor::zeros(&[2, 3, size, size]);
+        let y = net.forward_eval(&x);
+        assert_eq!(y.shape(), &[2, classes]);
+    }
+
+    #[test]
+    fn vgg11_forward_32() {
+        forward_ok(&vgg11(10, 32, 0.125, 1), 32, 10);
+    }
+
+    #[test]
+    fn vgg16_forward_32() {
+        forward_ok(&vgg16(10, 32, 0.125, 1), 32, 10);
+    }
+
+    #[test]
+    fn vgg16_forward_16_small_images_skip_pools() {
+        // 16×16 inputs hit the pool-skipping path (5 pools would underflow).
+        forward_ok(&vgg16(100, 16, 0.125, 1), 16, 100);
+    }
+
+    #[test]
+    fn vgg_micro_forward_8() {
+        forward_ok(&vgg_micro(10, 8, 0.5, 1), 8, 10);
+    }
+
+    #[test]
+    fn resnet20_forward_32() {
+        forward_ok(&resnet20(10, 32, 0.25, 1), 32, 10);
+    }
+
+    #[test]
+    fn resnet20_forward_16() {
+        forward_ok(&resnet20(100, 16, 0.25, 1), 16, 100);
+    }
+
+    #[test]
+    fn resnet_micro_forward_8() {
+        forward_ok(&resnet_micro(4, 8, 0.5, 1), 8, 4);
+    }
+
+    #[test]
+    fn layer_counts_match_architecture() {
+        // VGG-11 has 8 convs + 1 hidden linear ⇒ 9 threshold activations +
+        // the hidden-layer one... count: 8 conv acts + 1 fc act = 9.
+        let net = vgg11(10, 32, 0.125, 2);
+        assert_eq!(net.threshold_nodes().len(), 9);
+        let net16 = vgg16(10, 32, 0.125, 2);
+        assert_eq!(net16.threshold_nodes().len(), 14); // 13 convs + 1 fc
+
+        // ResNet-20: stem act + 9 blocks × 2 acts = 19.
+        let r = resnet20(10, 32, 0.25, 2);
+        assert_eq!(r.threshold_nodes().len(), 19);
+    }
+
+    #[test]
+    fn full_width_vgg16_has_paper_scale_params() {
+        // ~15M parameters at width 1.0 (no BN, one hidden FC of 512).
+        let net = vgg16(10, 32, 1.0, 3);
+        let p = net.param_count();
+        assert!(p > 10_000_000, "param count {p}");
+    }
+
+    #[test]
+    fn resnet_backward_runs() {
+        use ull_tensor::init::{normal, seeded_rng};
+        let mut net = resnet_micro(4, 8, 0.5, 5);
+        let x = normal(&[2, 3, 8, 8], 0.0, 1.0, &mut seeded_rng(6));
+        let tape = net.forward_train(&x, &mut seeded_rng(7));
+        let go = Tensor::ones(tape[net.output()].activation.shape());
+        net.backward(&tape, &go);
+        let mut nonzero = 0;
+        net.visit_params(|p| {
+            if p.grad.data().iter().any(|&g| g != 0.0) {
+                nonzero += 1;
+            }
+        });
+        assert!(nonzero > 5, "only {nonzero} params got gradient");
+    }
+
+    #[test]
+    fn width_multiplier_scales_channels() {
+        let small = vgg11(10, 32, 0.125, 1).param_count();
+        let big = vgg11(10, 32, 0.25, 1).param_count();
+        assert!(big > small * 2, "{big} vs {small}");
+    }
+}

@@ -1,0 +1,111 @@
+//! Property-based tests for network construction and training mechanics.
+
+use proptest::prelude::*;
+use ull_nn::{
+    cross_entropy_grad, cross_entropy_loss, models, LrSchedule, NetworkBuilder, Sgd, SgdConfig,
+};
+use ull_tensor::init::{normal, seeded_rng};
+use ull_tensor::Tensor;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any (filters, image size) combination the builder accepts produces
+    /// a network whose forward pass emits [N, classes].
+    #[test]
+    fn builder_network_always_produces_logits(
+        filters in 1usize..8,
+        size in 4usize..9,
+        classes in 2usize..6,
+        batch in 1usize..4,
+        seed in 0u64..50,
+    ) {
+        let mut b = NetworkBuilder::new(3, size, seed);
+        b.conv2d(filters, 3, 1, 1);
+        b.threshold_relu(2.0);
+        if size % 2 == 0 {
+            b.maxpool(2);
+        }
+        b.flatten();
+        b.linear(classes);
+        let net = b.build();
+        let x = Tensor::zeros(&[batch, 3, size, size]);
+        let y = net.forward_eval(&x);
+        prop_assert_eq!(y.shape(), &[batch, classes]);
+    }
+
+    /// Cross-entropy is non-negative and its gradient rows sum to zero.
+    #[test]
+    fn cross_entropy_invariants(
+        seed in 0u64..100,
+        batch in 1usize..5,
+        classes in 2usize..8,
+    ) {
+        let mut rng = seeded_rng(seed);
+        let logits = normal(&[batch, classes], 0.0, 2.0, &mut rng);
+        let labels: Vec<usize> = (0..batch).map(|i| i % classes).collect();
+        let loss = cross_entropy_loss(&logits, &labels);
+        prop_assert!(loss >= 0.0 && loss.is_finite());
+        let g = cross_entropy_grad(&logits, &labels);
+        for r in 0..batch {
+            let row_sum: f32 = g.data()[r * classes..(r + 1) * classes].iter().sum();
+            prop_assert!(row_sum.abs() < 1e-5);
+        }
+    }
+
+    /// The LR schedule multiplier is always in (0, 1] and non-increasing
+    /// after warmup.
+    #[test]
+    fn lr_schedule_is_well_behaved(total in 1usize..100, warmup in 0usize..10) {
+        let s = LrSchedule::paper(total).with_warmup(warmup.min(total / 2));
+        let mut prev = 0.0f32;
+        for e in 0..total {
+            let f = s.factor(e);
+            prop_assert!(f > 0.0 && f <= 1.0);
+            if e >= warmup {
+                if e > warmup {
+                    prop_assert!(f <= prev + 1e-6);
+                }
+                prev = f;
+            }
+        }
+    }
+
+    /// One SGD step on a random network leaves every parameter finite.
+    #[test]
+    fn sgd_step_keeps_parameters_finite(seed in 0u64..50, lr in 0.001f32..0.5) {
+        let net0 = models::vgg_micro(4, 8, 0.25, seed);
+        let mut net = net0;
+        let mut rng = seeded_rng(seed + 1);
+        let x = normal(&[2, 3, 8, 8], 0.0, 1.0, &mut rng);
+        let tape = net.forward_train(&x, &mut rng);
+        let logits = tape[net.output()].activation.clone();
+        let grad = cross_entropy_grad(&logits, &[0, 1]);
+        net.backward(&tape, &grad);
+        let sgd = Sgd::new(SgdConfig {
+            lr,
+            momentum: 0.9,
+            weight_decay: 1e-4,
+        })
+        .with_clip(5.0);
+        sgd.step(&mut net, 1.0);
+        net.visit_params(|p| {
+            assert!(p.value.data().iter().all(|v| v.is_finite()));
+        });
+    }
+
+    /// Forward passes are deterministic in eval mode and invariant to
+    /// batch composition.
+    #[test]
+    fn eval_forward_is_batch_composable(seed in 0u64..50) {
+        let net = models::vgg_micro(3, 8, 0.25, seed);
+        let mut rng = seeded_rng(seed + 2);
+        let x = normal(&[2, 3, 8, 8], 0.0, 1.0, &mut rng);
+        let both = net.forward_eval(&x);
+        let x0 = x.select_batch(0).reshape(&[1, 3, 8, 8]).unwrap();
+        let l0 = net.forward_eval(&x0);
+        for (a, b) in both.data()[..3].iter().zip(l0.data()) {
+            prop_assert!((a - b).abs() < 1e-5);
+        }
+    }
+}

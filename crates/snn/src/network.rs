@@ -1,0 +1,1016 @@
+//! The spiking network: structure, conversion from a DNN, and temporal
+//! forward passes.
+
+use std::error::Error;
+use std::fmt;
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use ull_nn::{Network, NodeId, NodeOp, Param};
+use ull_tensor::conv::{conv2d, ConvGeometry};
+use ull_tensor::pool::{avgpool2d, maxpool2d};
+use ull_tensor::{matmul_transpose_b, Tensor};
+
+use crate::stats::SpikeStats;
+
+/// Error type for SNN construction and transformation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnnError {
+    /// The DNN contains an op the SNN simulator cannot mirror.
+    UnsupportedOp {
+        /// Node id in the source network.
+        node: NodeId,
+        /// Short name of the offending op.
+        op: &'static str,
+    },
+    /// The number of [`SpikeSpec`]s does not match the number of threshold
+    /// layers in the source DNN.
+    SpecCountMismatch {
+        /// Threshold layers found in the DNN.
+        expected: usize,
+        /// Specs provided.
+        actual: usize,
+    },
+    /// Amplitude folding hit a structure it cannot fold through.
+    FoldUnsupported {
+        /// Node id where folding stopped.
+        node: NodeId,
+        /// Why folding is impossible there.
+        reason: &'static str,
+    },
+}
+
+impl fmt::Display for SnnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnnError::UnsupportedOp { node, op } => {
+                write!(f, "node {node}: op {op} is not supported in SNNs")
+            }
+            SnnError::SpecCountMismatch { expected, actual } => write!(
+                f,
+                "expected {expected} spike specs (one per threshold layer), got {actual}"
+            ),
+            SnnError::FoldUnsupported { node, reason } => {
+                write!(f, "cannot fold amplitude at node {node}: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for SnnError {}
+
+/// Conversion parameters for one spiking layer, produced by the conversion
+/// algorithms in `ull-core`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SpikeSpec {
+    /// Firing threshold `V^th` (the paper sets it to `α·μ`).
+    pub v_th: f32,
+    /// Output magnitude per spike (Eq. 8: `β·V^th`; plain IF uses `V^th`).
+    pub amp: f32,
+    /// Leak λ (1.0 = IF, the conversion target).
+    pub leak: f32,
+    /// Initial membrane charge `U(0)`. Deng et al.'s bias shift
+    /// `δ = V^th/2T` is equivalent to `U(0) = V^th/2`.
+    pub u_init: f32,
+}
+
+impl SpikeSpec {
+    /// The unscaled IF spec of Eq. 3: output magnitude equals the threshold.
+    pub fn identity(v_th: f32) -> Self {
+        SpikeSpec {
+            v_th,
+            amp: v_th,
+            leak: 1.0,
+            u_init: 0.0,
+        }
+    }
+
+    /// The bias-shifted IF spec of Deng et al. [15]: initial membrane
+    /// charge `V^th/2`, equivalent to shifting the SNN activation left by
+    /// `δ = V^th/2T`.
+    pub fn bias_shifted(v_th: f32) -> Self {
+        SpikeSpec {
+            v_th,
+            amp: v_th,
+            leak: 1.0,
+            u_init: v_th / 2.0,
+        }
+    }
+
+    /// The paper's scaled spec: threshold `α·μ`, output `β·V^th`.
+    pub fn scaled(mu: f32, alpha: f32, beta: f32) -> Self {
+        let v_th = alpha * mu;
+        SpikeSpec {
+            v_th,
+            amp: beta * v_th,
+            leak: 1.0,
+            u_init: 0.0,
+        }
+    }
+}
+
+/// A layer of LIF/IF neurons (Eq. 2–4, Eq. 8).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpikeLayer {
+    /// Trainable firing threshold `V^th`.
+    pub v_th: Param,
+    /// Trainable leak λ.
+    pub leak: Param,
+    /// Fixed output magnitude per spike (β·V^th at conversion). The paper
+    /// absorbs this into downstream weights; see
+    /// [`SnnNetwork::fold_amplitudes`].
+    pub amp: f32,
+    /// Initial membrane charge (0 unless the converter uses a bias shift).
+    pub u_init: f32,
+}
+
+impl SpikeLayer {
+    /// Builds a layer from a conversion spec.
+    pub fn from_spec(spec: SpikeSpec) -> Self {
+        SpikeLayer {
+            v_th: Param::scalar(spec.v_th, false),
+            leak: Param::scalar(spec.leak, false),
+            amp: spec.amp,
+            u_init: spec.u_init,
+        }
+    }
+}
+
+/// Operation performed by one SNN node. Mirrors [`ull_nn::NodeOp`] with
+/// `ThresholdRelu` replaced by [`SpikeLayer`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum SnnOp {
+    /// Direct-encoded input: the analog image, presented every time step.
+    Input,
+    /// Convolution applied to incoming values (analog at layer 1, spikes
+    /// elsewhere).
+    Conv2d {
+        /// Filter bank `[F, C, KH, KW]`.
+        weight: Param,
+        /// Optional bias (adds a constant current every step).
+        bias: Option<Param>,
+        /// Geometry.
+        geo: ConvGeometry,
+    },
+    /// Fully connected layer.
+    Linear {
+        /// Weight matrix `[out, in]`.
+        weight: Param,
+        /// Optional bias.
+        bias: Option<Param>,
+    },
+    /// LIF/IF neurons.
+    Spike(SpikeLayer),
+    /// Max pooling (binary in ⇒ binary out; §IV-A).
+    MaxPool2d {
+        /// Window and stride.
+        k: usize,
+    },
+    /// Average pooling.
+    AvgPool2d {
+        /// Window and stride.
+        k: usize,
+    },
+    /// Dropout with a mask *shared across time steps* (DIET-SNN style).
+    Dropout {
+        /// Drop probability.
+        p: f32,
+    },
+    /// Flatten to `[N, features]`.
+    Flatten,
+    /// Residual sum of two inputs.
+    Add,
+}
+
+/// One SNN node.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SnnNode {
+    /// The operation.
+    pub op: SnnOp,
+    /// Input node ids.
+    pub inputs: Vec<NodeId>,
+}
+
+/// Output of an inference run: accumulated logits plus spiking statistics.
+#[derive(Debug, Clone)]
+pub struct SnnOutput {
+    /// Mean over time steps of the output layer's activation, `[N, classes]`.
+    pub logits: Tensor,
+    /// Per-node spike counts and neuron counts.
+    pub stats: SpikeStats,
+}
+
+/// Per-(step, node) auxiliary record for BPTT.
+#[derive(Debug, Clone)]
+pub(crate) enum StepAux {
+    None,
+    MaxPool { argmax: Vec<usize> },
+    Spike { u_temp: Tensor, u_prev: Tensor },
+}
+
+/// The BPTT tape: everything [`SnnNetwork::backward`] needs, and the object
+/// whose size realises the paper's Fig. 3 memory measurements.
+#[derive(Debug)]
+pub struct SnnTape {
+    /// Number of simulated time steps T.
+    pub steps: usize,
+    /// Mean-over-time logits, `[N, classes]`.
+    pub logits: Tensor,
+    /// `acts[t][node]`: output of each node at each step.
+    pub(crate) acts: Vec<Vec<Tensor>>,
+    /// `aux[t][node]`.
+    pub(crate) aux: Vec<Vec<StepAux>>,
+    /// Per-node dropout mask, shared across steps.
+    pub(crate) masks: Vec<Option<Tensor>>,
+}
+
+impl SnnTape {
+    /// Total bytes of cached state — the BPTT memory footprint that grows
+    /// linearly with T (Fig. 3b).
+    pub fn memory_bytes(&self) -> usize {
+        let mut bytes = self.logits.len() * 4;
+        for step in &self.acts {
+            for t in step {
+                bytes += t.len() * 4;
+            }
+        }
+        for step in &self.aux {
+            for a in step {
+                bytes += match a {
+                    StepAux::None => 0,
+                    StepAux::MaxPool { argmax } => argmax.len() * std::mem::size_of::<usize>(),
+                    StepAux::Spike { u_temp, u_prev } => (u_temp.len() + u_prev.len()) * 4,
+                };
+            }
+        }
+        for m in self.masks.iter().flatten() {
+            bytes += m.len() * 4;
+        }
+        bytes
+    }
+}
+
+/// A spiking neural network sharing the topology of its source DNN
+/// (node ids are identical, which the analysis tooling relies on).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SnnNetwork {
+    nodes: Vec<SnnNode>,
+    output: NodeId,
+}
+
+impl SnnNetwork {
+    /// Builds an SNN from a trained DNN by copying weights and replacing
+    /// each `ThresholdRelu` with a [`SpikeLayer`] configured by the
+    /// corresponding entry of `specs` (in [`Network::threshold_nodes`]
+    /// order) — the threshold-balancing step of DNN→SNN conversion.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnnError::SpecCountMismatch`] if `specs` does not align
+    /// with the DNN's threshold layers, or [`SnnError::UnsupportedOp`] if
+    /// the DNN contains a plain `Relu` (thresholds are required for
+    /// conversion).
+    pub fn from_network(dnn: &Network, specs: &[SpikeSpec]) -> Result<Self, SnnError> {
+        let thresholds = dnn.threshold_nodes();
+        if thresholds.len() != specs.len() {
+            return Err(SnnError::SpecCountMismatch {
+                expected: thresholds.len(),
+                actual: specs.len(),
+            });
+        }
+        let mut spec_iter = specs.iter();
+        let mut nodes = Vec::with_capacity(dnn.nodes().len());
+        for (id, node) in dnn.nodes().iter().enumerate() {
+            let op = match &node.op {
+                NodeOp::Input => SnnOp::Input,
+                NodeOp::Conv2d { weight, bias, geo } => SnnOp::Conv2d {
+                    weight: weight.clone(),
+                    bias: bias.clone(),
+                    geo: *geo,
+                },
+                NodeOp::Linear { weight, bias } => SnnOp::Linear {
+                    weight: weight.clone(),
+                    bias: bias.clone(),
+                },
+                NodeOp::ThresholdRelu { .. } => {
+                    let spec = spec_iter.next().expect("spec count checked above");
+                    SnnOp::Spike(SpikeLayer::from_spec(*spec))
+                }
+                NodeOp::Relu => {
+                    return Err(SnnError::UnsupportedOp {
+                        node: id,
+                        op: "Relu (train with ThresholdRelu for conversion)",
+                    })
+                }
+                NodeOp::MaxPool2d { k } => SnnOp::MaxPool2d { k: *k },
+                NodeOp::AvgPool2d { k } => SnnOp::AvgPool2d { k: *k },
+                NodeOp::Dropout { p } => SnnOp::Dropout { p: *p },
+                NodeOp::Flatten => SnnOp::Flatten,
+                NodeOp::Add => SnnOp::Add,
+            };
+            nodes.push(SnnNode {
+                op,
+                inputs: node.inputs.clone(),
+            });
+        }
+        Ok(SnnNetwork {
+            nodes,
+            output: dnn.output(),
+        })
+    }
+
+    /// The nodes in topological order.
+    pub fn nodes(&self) -> &[SnnNode] {
+        &self.nodes
+    }
+
+    /// Mutable node access (used by converters).
+    pub fn nodes_mut(&mut self) -> &mut [SnnNode] {
+        &mut self.nodes
+    }
+
+    /// Id of the output (logit-accumulating) node.
+    pub fn output(&self) -> NodeId {
+        self.output
+    }
+
+    /// Ids of all spike layers, in forward order.
+    pub fn spike_nodes(&self) -> Vec<NodeId> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| matches!(n.op, SnnOp::Spike(_)))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Applies `f` to every trainable parameter (weights, V^th, λ).
+    pub fn visit_params_mut(&mut self, mut f: impl FnMut(&mut Param)) {
+        for node in &mut self.nodes {
+            match &mut node.op {
+                SnnOp::Conv2d { weight, bias, .. } => {
+                    f(weight);
+                    if let Some(b) = bias {
+                        f(b);
+                    }
+                }
+                SnnOp::Linear { weight, bias } => {
+                    f(weight);
+                    if let Some(b) = bias {
+                        f(b);
+                    }
+                }
+                SnnOp::Spike(s) => {
+                    f(&mut s.v_th);
+                    f(&mut s.leak);
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// Immutable parameter visitor.
+    pub fn visit_params(&self, mut f: impl FnMut(&Param)) {
+        for node in &self.nodes {
+            match &node.op {
+                SnnOp::Conv2d { weight, bias, .. } => {
+                    f(weight);
+                    if let Some(b) = bias {
+                        f(b);
+                    }
+                }
+                SnnOp::Linear { weight, bias } => {
+                    f(weight);
+                    if let Some(b) = bias {
+                        f(b);
+                    }
+                }
+                SnnOp::Spike(s) => {
+                    f(&s.v_th);
+                    f(&s.leak);
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// Clears every parameter gradient.
+    pub fn zero_grad(&mut self) {
+        self.visit_params_mut(|p| p.zero_grad());
+    }
+
+    /// Inference over `t_steps` time steps with direct input encoding.
+    ///
+    /// The output node's activation is averaged over steps to form logits,
+    /// and spiking statistics are recorded per node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t_steps == 0` or shapes mismatch inside the graph.
+    pub fn forward(&self, x: &Tensor, t_steps: usize) -> SnnOutput {
+        assert!(t_steps > 0, "need at least one time step");
+        let batch = x.shape()[0];
+        let mut stats = SpikeStats::new(self.nodes.len(), batch, t_steps);
+        let mut membranes: Vec<Option<Tensor>> = vec![None; self.nodes.len()];
+        let mut logits: Option<Tensor> = None;
+        for _ in 0..t_steps {
+            let acts = self.step(x, &mut membranes, None, None, &mut stats);
+            match &mut logits {
+                Some(l) => l.add_assign(&acts[self.output]),
+                None => logits = Some(acts[self.output].clone()),
+            }
+        }
+        let mut logits = logits.expect("at least one step ran");
+        logits.scale_in_place(1.0 / t_steps as f32);
+        SnnOutput { logits, stats }
+    }
+
+    /// Like [`SnnNetwork::forward`] but also returns, for each spike node,
+    /// the per-neuron *average input current* and *average output value*
+    /// across time steps — the empirical `f_S(s)` and `s'` of the paper's
+    /// error analysis (Eq. 6).
+    pub fn forward_rates(&self, x: &Tensor, t_steps: usize) -> (SnnOutput, Vec<(NodeId, Tensor, Tensor)>) {
+        assert!(t_steps > 0, "need at least one time step");
+        let batch = x.shape()[0];
+        let mut stats = SpikeStats::new(self.nodes.len(), batch, t_steps);
+        let mut membranes: Vec<Option<Tensor>> = vec![None; self.nodes.len()];
+        let mut logits: Option<Tensor> = None;
+        let spike_ids = self.spike_nodes();
+        let mut current_sums: Vec<Option<Tensor>> = vec![None; self.nodes.len()];
+        let mut output_sums: Vec<Option<Tensor>> = vec![None; self.nodes.len()];
+        for _ in 0..t_steps {
+            let acts = self.step(x, &mut membranes, None, None, &mut stats);
+            for &id in &spike_ids {
+                let input_act = &acts_input(self, &acts, id);
+                accumulate_opt(&mut current_sums[id], input_act);
+                accumulate_opt(&mut output_sums[id], &acts[id]);
+            }
+            match &mut logits {
+                Some(l) => l.add_assign(&acts[self.output]),
+                None => logits = Some(acts[self.output].clone()),
+            }
+        }
+        let mut logits = logits.expect("at least one step ran");
+        logits.scale_in_place(1.0 / t_steps as f32);
+        let inv = 1.0 / t_steps as f32;
+        let rates = spike_ids
+            .into_iter()
+            .map(|id| {
+                let mut cur = current_sums[id].take().expect("recorded above");
+                cur.scale_in_place(inv);
+                let mut out = output_sums[id].take().expect("recorded above");
+                out.scale_in_place(inv);
+                (id, cur, out)
+            })
+            .collect();
+        (SnnOutput { logits, stats }, rates)
+    }
+
+    /// Training-mode unrolled forward pass: records the full BPTT tape.
+    /// Dropout masks are sampled once and shared across time steps.
+    pub fn forward_train(&self, x: &Tensor, t_steps: usize, rng: &mut StdRng) -> SnnTape {
+        assert!(t_steps > 0, "need at least one time step");
+        let batch = x.shape()[0];
+        // Pre-sample dropout masks (shapes discovered via a dry step).
+        let mut stats = SpikeStats::new(self.nodes.len(), batch, t_steps);
+        let mut membranes: Vec<Option<Tensor>> = vec![None; self.nodes.len()];
+        let probe = self.step(x, &mut membranes, None, None, &mut stats);
+        let mut masks: Vec<Option<Tensor>> = vec![None; self.nodes.len()];
+        for (i, node) in self.nodes.iter().enumerate() {
+            if let SnnOp::Dropout { p } = node.op {
+                if p > 0.0 {
+                    let keep = 1.0 - p;
+                    let scale = 1.0 / keep;
+                    let mut mask = Tensor::zeros(probe[i].shape());
+                    for m in mask.data_mut() {
+                        *m = if rng.gen::<f32>() < keep { scale } else { 0.0 };
+                    }
+                    masks[i] = Some(mask);
+                }
+            }
+        }
+        // Real unrolled pass with fresh state.
+        let mut stats = SpikeStats::new(self.nodes.len(), batch, t_steps);
+        let mut membranes: Vec<Option<Tensor>> = vec![None; self.nodes.len()];
+        let mut acts_all = Vec::with_capacity(t_steps);
+        let mut aux_all = Vec::with_capacity(t_steps);
+        let mut logits: Option<Tensor> = None;
+        for _ in 0..t_steps {
+            let mut aux: Vec<StepAux> = Vec::with_capacity(self.nodes.len());
+            let acts = self.step(x, &mut membranes, Some(&masks), Some(&mut aux), &mut stats);
+            match &mut logits {
+                Some(l) => l.add_assign(&acts[self.output]),
+                None => logits = Some(acts[self.output].clone()),
+            }
+            acts_all.push(acts);
+            aux_all.push(aux);
+        }
+        let mut logits = logits.expect("at least one step ran");
+        logits.scale_in_place(1.0 / t_steps as f32);
+        SnnTape {
+            steps: t_steps,
+            logits,
+            acts: acts_all,
+            aux: aux_all,
+            masks,
+        }
+    }
+
+    /// Per-step spike counts: `trace[t][node]` = spikes emitted by `node`
+    /// at step `t` (whole batch). Useful for raster plots and for checking
+    /// temporal dynamics (e.g. the first step after an initial charge).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t_steps == 0`.
+    pub fn forward_trace(&self, x: &Tensor, t_steps: usize) -> Vec<Vec<u64>> {
+        assert!(t_steps > 0, "need at least one time step");
+        let batch = x.shape()[0];
+        let mut stats = SpikeStats::new(self.nodes.len(), batch, t_steps);
+        let mut membranes: Vec<Option<Tensor>> = vec![None; self.nodes.len()];
+        let mut trace = Vec::with_capacity(t_steps);
+        let mut prev = vec![0u64; self.nodes.len()];
+        for _ in 0..t_steps {
+            let _ = self.step(x, &mut membranes, None, None, &mut stats);
+            let now = stats.spikes_per_node();
+            trace.push(
+                now.iter()
+                    .zip(&prev)
+                    .map(|(&a, &b)| a - b)
+                    .collect::<Vec<u64>>(),
+            );
+            prev = now.to_vec();
+        }
+        trace
+    }
+
+    /// Crate-internal single-step entry point for alternative input
+    /// encodings (see [`crate::encoding`]).
+    pub(crate) fn step_public(
+        &self,
+        x: &Tensor,
+        membranes: &mut [Option<Tensor>],
+        stats: &mut SpikeStats,
+    ) -> Vec<Tensor> {
+        self.step(x, membranes, None, None, stats)
+    }
+
+    /// One simulated time step. `aux_out`, when provided, records the BPTT
+    /// auxiliaries; `masks` supplies shared dropout masks (None ⇒ eval).
+    fn step(
+        &self,
+        x: &Tensor,
+        membranes: &mut [Option<Tensor>],
+        masks: Option<&[Option<Tensor>]>,
+        mut aux_out: Option<&mut Vec<StepAux>>,
+        stats: &mut SpikeStats,
+    ) -> Vec<Tensor> {
+        let mut acts: Vec<Tensor> = Vec::with_capacity(self.nodes.len());
+        for (i, node) in self.nodes.iter().enumerate() {
+            let a = |j: usize| &acts[node.inputs[j]];
+            let mut aux = StepAux::None;
+            let value = match &node.op {
+                SnnOp::Input => x.clone(),
+                SnnOp::Conv2d { weight, bias, geo } => {
+                    conv2d(a(0), &weight.value, bias.as_ref().map(|b| &b.value), *geo)
+                }
+                SnnOp::Linear { weight, bias } => {
+                    let mut y = matmul_transpose_b(a(0), &weight.value);
+                    if let Some(b) = bias {
+                        let out = weight.value.shape()[0];
+                        let bd = b.value.data();
+                        for row in y.data_mut().chunks_mut(out) {
+                            for (v, &bb) in row.iter_mut().zip(bd) {
+                                *v += bb;
+                            }
+                        }
+                    }
+                    y
+                }
+                SnnOp::Spike(layer) => {
+                    let input = a(0);
+                    let v_th = layer.v_th.scalar_value();
+                    let leak = layer.leak.scalar_value();
+                    let amp = layer.amp;
+                    let u_prev = match &membranes[i] {
+                        Some(u) => u.clone(),
+                        None => Tensor::full(input.shape(), layer.u_init),
+                    };
+                    // Eq. 2: U_temp = λ·U(t−1) + I(t)
+                    let mut u_temp = u_prev.scale(leak);
+                    u_temp.add_assign(input);
+                    // Eq. 3/8: spike and scaled output.
+                    let mut out = Tensor::zeros(input.shape());
+                    let mut u_next = u_temp.clone();
+                    let mut spike_count = 0u64;
+                    {
+                        let od = out.data_mut();
+                        let un = u_next.data_mut();
+                        for (j, &u) in u_temp.data().iter().enumerate() {
+                            if u > v_th {
+                                od[j] = amp;
+                                un[j] = u - v_th; // Eq. 4 soft reset by V^th
+                                spike_count += 1;
+                            }
+                        }
+                    }
+                    stats.record(i, spike_count, input.len());
+                    membranes[i] = Some(u_next);
+                    if aux_out.is_some() {
+                        aux = StepAux::Spike { u_temp, u_prev };
+                    }
+                    out
+                }
+                SnnOp::MaxPool2d { k } => {
+                    let p = maxpool2d(a(0), *k);
+                    if aux_out.is_some() {
+                        aux = StepAux::MaxPool { argmax: p.argmax };
+                    }
+                    p.output
+                }
+                SnnOp::AvgPool2d { k } => avgpool2d(a(0), *k),
+                SnnOp::Dropout { .. } => match masks.and_then(|m| m[i].as_ref()) {
+                    Some(mask) => a(0).mul(mask),
+                    None => a(0).clone(),
+                },
+                SnnOp::Flatten => {
+                    let t = a(0);
+                    let n = t.shape()[0];
+                    let rest: usize = t.shape()[1..].iter().product();
+                    t.reshape(&[n, rest]).expect("flatten preserves length")
+                }
+                SnnOp::Add => a(0).add(a(1)),
+            };
+            if let Some(ref mut v) = aux_out {
+                v.push(aux);
+            }
+            acts.push(value);
+        }
+        acts
+    }
+
+    /// Folds each spike layer's output amplitude into the next weighted
+    /// layer(s), making spikes binary — the paper's "absorb the scaling
+    /// factor into the weight values" trick that keeps hidden layers
+    /// multiplication-free.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnnError::FoldUnsupported`] if a spike output reaches an
+    /// `Add` node, another spike layer, or the network output before any
+    /// weighted layer (the scale would be ambiguous), or if the amplitude
+    /// is not positive (max pooling would not commute).
+    pub fn fold_amplitudes(&mut self) -> Result<(), SnnError> {
+        // consumers[i] = nodes that read node i.
+        let mut consumers: Vec<Vec<NodeId>> = vec![Vec::new(); self.nodes.len()];
+        for (i, node) in self.nodes.iter().enumerate() {
+            for &inp in &node.inputs {
+                consumers[inp].push(i);
+            }
+        }
+        let spike_ids = self.spike_nodes();
+        for id in spike_ids {
+            let amp = match &self.nodes[id].op {
+                SnnOp::Spike(s) => s.amp,
+                _ => unreachable!(),
+            };
+            if amp <= 0.0 {
+                return Err(SnnError::FoldUnsupported {
+                    node: id,
+                    reason: "amplitude must be positive to commute with max pooling",
+                });
+            }
+            // Walk downstream through scale-transparent ops.
+            let mut frontier = vec![id];
+            let mut targets: Vec<NodeId> = Vec::new();
+            while let Some(n) = frontier.pop() {
+                if n == self.output && !matches!(self.nodes[n].op, SnnOp::Conv2d { .. } | SnnOp::Linear { .. }) {
+                    return Err(SnnError::FoldUnsupported {
+                        node: n,
+                        reason: "spike output reaches the network output unweighted",
+                    });
+                }
+                for &c in &consumers[n] {
+                    match &self.nodes[c].op {
+                        SnnOp::Conv2d { .. } | SnnOp::Linear { .. } => targets.push(c),
+                        SnnOp::MaxPool2d { .. }
+                        | SnnOp::AvgPool2d { .. }
+                        | SnnOp::Dropout { .. }
+                        | SnnOp::Flatten => frontier.push(c),
+                        SnnOp::Add => {
+                            return Err(SnnError::FoldUnsupported {
+                                node: c,
+                                reason: "residual Add mixes differently-scaled branches",
+                            })
+                        }
+                        SnnOp::Spike(_) => {
+                            return Err(SnnError::FoldUnsupported {
+                                node: c,
+                                reason: "spike layer directly feeds another spike layer",
+                            })
+                        }
+                        SnnOp::Input => unreachable!("input has no inputs"),
+                    }
+                }
+            }
+            for t in targets {
+                match &mut self.nodes[t].op {
+                    SnnOp::Conv2d { weight, .. } | SnnOp::Linear { weight, .. } => {
+                        weight.value.scale_in_place(amp);
+                    }
+                    _ => unreachable!(),
+                }
+            }
+            if let SnnOp::Spike(s) = &mut self.nodes[id].op {
+                s.amp = 1.0;
+            }
+        }
+        Ok(())
+    }
+}
+
+fn acts_input(net: &SnnNetwork, acts: &[Tensor], id: NodeId) -> Tensor {
+    acts[net.nodes[id].inputs[0]].clone()
+}
+
+fn accumulate_opt(slot: &mut Option<Tensor>, value: &Tensor) {
+    match slot {
+        Some(acc) => acc.add_assign(value),
+        None => *slot = Some(value.clone()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ull_nn::{models, NetworkBuilder};
+    use ull_tensor::init::{normal, seeded_rng};
+
+    fn tiny_dnn(seed: u64) -> Network {
+        let mut b = NetworkBuilder::new(2, 4, seed);
+        b.conv2d(3, 3, 1, 1);
+        b.threshold_relu(0.8);
+        b.maxpool(2);
+        b.flatten();
+        b.linear(4);
+        b.build()
+    }
+
+    fn tiny_snn(seed: u64) -> SnnNetwork {
+        let dnn = tiny_dnn(seed);
+        let specs = vec![SpikeSpec::identity(0.8)];
+        SnnNetwork::from_network(&dnn, &specs).unwrap()
+    }
+
+    #[test]
+    fn conversion_preserves_topology() {
+        let dnn = tiny_dnn(1);
+        let snn = tiny_snn(1);
+        assert_eq!(snn.nodes().len(), dnn.nodes().len());
+        assert_eq!(snn.output(), dnn.output());
+        assert_eq!(snn.spike_nodes(), dnn.threshold_nodes());
+    }
+
+    #[test]
+    fn spec_count_mismatch_is_an_error() {
+        let dnn = tiny_dnn(2);
+        let err = SnnNetwork::from_network(&dnn, &[]).unwrap_err();
+        assert!(matches!(err, SnnError::SpecCountMismatch { expected: 1, actual: 0 }));
+    }
+
+    #[test]
+    fn plain_relu_is_rejected() {
+        let mut b = NetworkBuilder::new(1, 2, 3);
+        b.conv2d(1, 1, 1, 0);
+        b.relu();
+        b.flatten();
+        b.linear(2);
+        let dnn = b.build();
+        let err = SnnNetwork::from_network(&dnn, &[]).unwrap_err();
+        assert!(matches!(err, SnnError::UnsupportedOp { .. }));
+    }
+
+    #[test]
+    fn forward_shapes_and_determinism() {
+        let snn = tiny_snn(4);
+        let x = normal(&[2, 2, 4, 4], 0.0, 1.0, &mut seeded_rng(5));
+        let o1 = snn.forward(&x, 3);
+        let o2 = snn.forward(&x, 3);
+        assert_eq!(o1.logits.shape(), &[2, 4]);
+        assert_eq!(o1.logits, o2.logits);
+    }
+
+    #[test]
+    fn membranes_reset_between_forward_calls() {
+        let snn = tiny_snn(6);
+        let x = normal(&[1, 2, 4, 4], 0.0, 1.0, &mut seeded_rng(7));
+        // If state leaked across calls the outputs would differ.
+        assert_eq!(snn.forward(&x, 2).logits, snn.forward(&x, 2).logits);
+    }
+
+    #[test]
+    fn if_neuron_fires_at_expected_rate() {
+        // Single neuron, constant input current 0.5, threshold 1.0:
+        // membrane reaches 1.0 at t=2 (exceeds? 1.0 > 1.0 is false), so
+        // use current 0.6: u = 0.6, 1.2(spike, reset to 0.2), 0.8, 1.4(spike)...
+        // Expected spikes in 4 steps: t2 and t4 => rate 1/2.
+        let mut b = NetworkBuilder::new(1, 1, 0);
+        b.flatten();
+        b.linear(1);
+        b.threshold_relu(1.0);
+        let mut dnn = b.build();
+        // Set the linear weight to 0.6 exactly.
+        if let NodeOp::Linear { weight, .. } = &mut dnn.nodes_mut()[2].op {
+            weight.value.fill(0.6);
+        }
+        // Make the spike layer the output so we can observe its spikes:
+        // instead, read stats.
+        let snn = SnnNetwork::from_network(&dnn, &[SpikeSpec::identity(1.0)]).unwrap();
+        let x = Tensor::ones(&[1, 1, 1, 1]);
+        let out = snn.forward(&x, 4);
+        let spike_node = snn.spike_nodes()[0];
+        assert_eq!(out.stats.spikes_per_node()[spike_node], 2);
+    }
+
+    #[test]
+    fn leak_reduces_firing() {
+        let mut b = NetworkBuilder::new(1, 1, 0);
+        b.flatten();
+        b.linear(1);
+        b.threshold_relu(1.0);
+        let mut dnn = b.build();
+        if let NodeOp::Linear { weight, .. } = &mut dnn.nodes_mut()[2].op {
+            weight.value.fill(0.6);
+        }
+        let x = Tensor::ones(&[1, 1, 1, 1]);
+        let if_spikes = {
+            let snn = SnnNetwork::from_network(&dnn, &[SpikeSpec::identity(1.0)]).unwrap();
+            let out = snn.forward(&x, 8);
+            out.stats.spikes_per_node()[snn.spike_nodes()[0]]
+        };
+        let lif_spikes = {
+            let spec = SpikeSpec {
+                v_th: 1.0,
+                amp: 1.0,
+                leak: 0.5,
+                u_init: 0.0,
+            };
+            let snn = SnnNetwork::from_network(&dnn, &[spec]).unwrap();
+            let out = snn.forward(&x, 8);
+            out.stats.spikes_per_node()[snn.spike_nodes()[0]]
+        };
+        assert!(lif_spikes < if_spikes, "{lif_spikes} !< {if_spikes}");
+    }
+
+    #[test]
+    fn spike_outputs_are_amp_valued() {
+        let snn = tiny_snn(8);
+        let x = normal(&[1, 2, 4, 4], 0.0, 2.0, &mut seeded_rng(9));
+        let (_, rates) = snn.forward_rates(&x, 4);
+        // Average outputs are multiples of amp/T.
+        let (_, _, out) = &rates[0];
+        for &v in out.data() {
+            let q = v / (0.8 / 4.0);
+            assert!((q - q.round()).abs() < 1e-4, "{v} not a multiple of amp/T");
+        }
+    }
+
+    #[test]
+    fn rate_approaches_dnn_activation_for_large_t() {
+        // Conversion theory: Σ s̄ → clip(x, 0, μ) as T → ∞ for IF neurons
+        // with V^th = μ (Eq. 5).
+        let dnn = tiny_dnn(10);
+        let snn = tiny_snn(10);
+        let x = normal(&[1, 2, 4, 4], 0.0, 1.0, &mut seeded_rng(11));
+        let dnn_acts = dnn.forward_collect(&x);
+        let dnn_out = &dnn_acts[2]; // threshold relu output
+        let (_, rates) = snn.forward_rates(&x, 256);
+        let (_, _, snn_avg) = &rates[0];
+        let mut max_err = 0.0f32;
+        for (d, s) in dnn_out.data().iter().zip(snn_avg.data()) {
+            max_err = max_err.max((d - s).abs());
+        }
+        assert!(max_err < 0.02, "rate mismatch {max_err}");
+    }
+
+    #[test]
+    fn fewer_steps_increase_conversion_error() {
+        // The paper's core observation: error grows as T shrinks.
+        let dnn = tiny_dnn(12);
+        let snn = tiny_snn(12);
+        let x = normal(&[4, 2, 4, 4], 0.0, 1.0, &mut seeded_rng(13));
+        let dnn_acts = dnn.forward_collect(&x);
+        let dnn_out = &dnn_acts[2];
+        let err_at = |t: usize| -> f32 {
+            let (_, rates) = snn.forward_rates(&x, t);
+            let (_, _, avg) = &rates[0];
+            avg.sub(dnn_out).data().iter().map(|v| v.abs()).sum::<f32>() / avg.len() as f32
+        };
+        let e2 = err_at(2);
+        let e64 = err_at(64);
+        assert!(e2 > e64 * 1.5, "e2 {e2} vs e64 {e64}");
+    }
+
+    #[test]
+    fn fold_amplitudes_preserves_chain_output() {
+        let dnn = {
+            let mut b = NetworkBuilder::new(2, 4, 21);
+            b.conv2d(3, 3, 1, 1);
+            b.threshold_relu(0.7);
+            b.maxpool(2);
+            b.conv2d(4, 3, 1, 1);
+            b.threshold_relu(0.9);
+            b.flatten();
+            b.linear(3);
+            b.build()
+        };
+        let specs = vec![
+            SpikeSpec::scaled(0.7, 0.8, 1.3),
+            SpikeSpec::scaled(0.9, 0.6, 0.9),
+        ];
+        let snn = SnnNetwork::from_network(&dnn, &specs).unwrap();
+        let mut folded = snn.clone();
+        folded.fold_amplitudes().unwrap();
+        // Spikes are now binary.
+        for id in folded.spike_nodes() {
+            if let SnnOp::Spike(s) = &folded.nodes()[id].op {
+                assert_eq!(s.amp, 1.0);
+            }
+        }
+        let x = normal(&[2, 2, 4, 4], 0.0, 1.0, &mut seeded_rng(22));
+        let a = snn.forward(&x, 3);
+        let b = folded.forward(&x, 3);
+        for (u, v) in a.logits.data().iter().zip(b.logits.data()) {
+            assert!((u - v).abs() < 1e-4, "{u} vs {v}");
+        }
+    }
+
+    #[test]
+    fn fold_amplitudes_rejects_residual_mixing() {
+        let dnn = models::resnet_micro(4, 8, 0.5, 23);
+        let specs = vec![SpikeSpec::identity(1.0); dnn.threshold_nodes().len()];
+        let mut snn = SnnNetwork::from_network(&dnn, &specs).unwrap();
+        assert!(matches!(
+            snn.fold_amplitudes(),
+            Err(SnnError::FoldUnsupported { .. })
+        ));
+    }
+
+    #[test]
+    fn tape_memory_scales_linearly_with_t() {
+        let snn = tiny_snn(30);
+        let x = normal(&[2, 2, 4, 4], 0.0, 1.0, &mut seeded_rng(31));
+        let m2 = snn.forward_train(&x, 2, &mut seeded_rng(0)).memory_bytes();
+        let m4 = snn.forward_train(&x, 4, &mut seeded_rng(0)).memory_bytes();
+        let ratio = m4 as f64 / m2 as f64;
+        assert!((ratio - 2.0).abs() < 0.2, "ratio {ratio}");
+    }
+
+    #[test]
+    fn forward_trace_sums_to_total_spikes() {
+        let snn = tiny_snn(35);
+        let x = normal(&[2, 2, 4, 4], 0.5, 1.0, &mut seeded_rng(36));
+        let t = 4;
+        let trace = snn.forward_trace(&x, t);
+        assert_eq!(trace.len(), t);
+        let out = snn.forward(&x, t);
+        for (node, &total) in out.stats.spikes_per_node().iter().enumerate() {
+            let traced: u64 = trace.iter().map(|s| s[node]).sum();
+            assert_eq!(traced, total, "node {node}");
+        }
+    }
+
+    #[test]
+    fn bias_shifted_network_spikes_earlier() {
+        // Initial charge V/2 means the first spikes arrive a step earlier
+        // for sub-threshold constant currents.
+        let mut b = NetworkBuilder::new(1, 1, 0);
+        b.flatten();
+        b.linear(1);
+        b.threshold_relu(1.0);
+        let mut dnn = b.build();
+        if let NodeOp::Linear { weight, .. } = &mut dnn.nodes_mut()[2].op {
+            weight.value.fill(0.4);
+        }
+        let x = Tensor::ones(&[1, 1, 1, 1]);
+        let plain = SnnNetwork::from_network(&dnn, &[SpikeSpec::identity(1.0)]).unwrap();
+        let shifted = SnnNetwork::from_network(&dnn, &[SpikeSpec::bias_shifted(1.0)]).unwrap();
+        let node = plain.spike_nodes()[0];
+        let trace_p = plain.forward_trace(&x, 3);
+        let trace_s = shifted.forward_trace(&x, 3);
+        // Plain: u = .4, .8, 1.2 -> first spike at step 2 (0-based).
+        // Shifted: u = .9, 1.3 (spike, reset .3), .7 -> first spike at 1.
+        assert_eq!(trace_p.iter().map(|s| s[node]).collect::<Vec<_>>(), vec![0, 0, 1]);
+        assert_eq!(trace_s.iter().map(|s| s[node]).collect::<Vec<_>>(), vec![0, 1, 0]);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let snn = tiny_snn(40);
+        let x = normal(&[1, 2, 4, 4], 0.0, 1.0, &mut seeded_rng(41));
+        let json = serde_json::to_string(&snn).unwrap();
+        let back: SnnNetwork = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.forward(&x, 2).logits, snn.forward(&x, 2).logits);
+    }
+}

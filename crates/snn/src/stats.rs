@@ -1,0 +1,190 @@
+//! Spiking-activity accounting.
+//!
+//! The paper uses the *average spiking activity* of each layer — total
+//! spikes over T steps divided by the number of neurons — as the proxy for
+//! compute energy (§VI-A, Fig. 4a). [`SpikeStats`] is filled during every
+//! forward pass; [`ActivityReport`] summarises it per layer and per image.
+
+use serde::{Deserialize, Serialize};
+
+/// Raw spike counters collected during one forward pass.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpikeStats {
+    spikes: Vec<u64>,
+    neurons: Vec<usize>,
+    batch: usize,
+    steps: usize,
+}
+
+impl SpikeStats {
+    /// Creates counters for a network of `nodes` nodes, simulating a batch
+    /// of `batch` samples for `steps` time steps.
+    pub fn new(nodes: usize, batch: usize, steps: usize) -> Self {
+        SpikeStats {
+            spikes: vec![0; nodes],
+            neurons: vec![0; nodes],
+            batch,
+            steps,
+        }
+    }
+
+    /// Records `count` spikes for node `id` in a step where the layer holds
+    /// `neuron_elems` batched neuron values (batch × neurons).
+    pub fn record(&mut self, id: usize, count: u64, neuron_elems: usize) {
+        self.spikes[id] += count;
+        // Neuron count per sample is constant; keep the per-step value.
+        self.neurons[id] = neuron_elems / self.batch.max(1);
+    }
+
+    /// Total spikes per node over all steps and the whole batch.
+    pub fn spikes_per_node(&self) -> &[u64] {
+        &self.spikes
+    }
+
+    /// Neurons per node (per sample).
+    pub fn neurons_per_node(&self) -> &[usize] {
+        &self.neurons
+    }
+
+    /// Batch size of the run.
+    pub fn batch(&self) -> usize {
+        self.batch
+    }
+
+    /// Time steps of the run.
+    pub fn steps(&self) -> usize {
+        self.steps
+    }
+
+    /// Merges counters from another run over the same network (e.g. from
+    /// successive evaluation batches).
+    ///
+    /// # Panics
+    ///
+    /// Panics if node counts or step counts differ.
+    pub fn merge(&mut self, other: &SpikeStats) {
+        assert_eq!(self.spikes.len(), other.spikes.len(), "node count mismatch");
+        assert_eq!(self.steps, other.steps, "step count mismatch");
+        for (a, b) in self.spikes.iter_mut().zip(&other.spikes) {
+            *a += b;
+        }
+        for (a, &b) in self.neurons.iter_mut().zip(&other.neurons) {
+            if b != 0 {
+                *a = b;
+            }
+        }
+        self.batch += other.batch;
+    }
+
+    /// Builds the per-image activity report.
+    pub fn report(&self) -> ActivityReport {
+        let per_image: Vec<f64> = self
+            .spikes
+            .iter()
+            .map(|&s| s as f64 / self.batch.max(1) as f64)
+            .collect();
+        let rate: Vec<f64> = self
+            .spikes
+            .iter()
+            .zip(&self.neurons)
+            .map(|(&s, &n)| {
+                if n == 0 {
+                    0.0
+                } else {
+                    s as f64 / (self.batch.max(1) * n) as f64
+                }
+            })
+            .collect();
+        ActivityReport {
+            spikes_per_image: per_image,
+            spike_rate: rate,
+            neurons: self.neurons.clone(),
+            steps: self.steps,
+        }
+    }
+}
+
+/// Per-layer spiking activity, averaged per image (Fig. 4a's quantity).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ActivityReport {
+    /// Average number of spikes emitted by each node per input image,
+    /// summed over all T steps. Zero for non-spiking nodes.
+    pub spikes_per_image: Vec<f64>,
+    /// Average spikes per neuron per image (the paper's "spiking activity"
+    /// ζ: total spikes over T steps / number of neurons).
+    pub spike_rate: Vec<f64>,
+    /// Neurons per node.
+    pub neurons: Vec<usize>,
+    /// Time steps of the run.
+    pub steps: usize,
+}
+
+impl ActivityReport {
+    /// Total spikes per image across the whole network.
+    pub fn total_spikes_per_image(&self) -> f64 {
+        self.spikes_per_image.iter().sum()
+    }
+
+    /// Mean spike rate over nodes that actually spike.
+    pub fn mean_spike_rate(&self) -> f64 {
+        let active: Vec<f64> = self
+            .spike_rate
+            .iter()
+            .copied()
+            .filter(|&r| r > 0.0)
+            .collect();
+        if active.is_empty() {
+            0.0
+        } else {
+            active.iter().sum::<f64>() / active.len() as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_report() {
+        let mut s = SpikeStats::new(3, 2, 4);
+        // Node 1: 8 spikes total over a batch of 2 with 10 neurons each.
+        s.record(1, 5, 20);
+        s.record(1, 3, 20);
+        let r = s.report();
+        assert_eq!(r.spikes_per_image[1], 4.0);
+        assert!((r.spike_rate[1] - 8.0 / 20.0).abs() < 1e-9);
+        assert_eq!(r.spikes_per_image[0], 0.0);
+        assert_eq!(r.total_spikes_per_image(), 4.0);
+    }
+
+    #[test]
+    fn merge_accumulates_batches() {
+        let mut a = SpikeStats::new(2, 1, 2);
+        a.record(0, 3, 4);
+        let mut b = SpikeStats::new(2, 1, 2);
+        b.record(0, 5, 4);
+        a.merge(&b);
+        assert_eq!(a.batch(), 2);
+        assert_eq!(a.spikes_per_node()[0], 8);
+        let r = a.report();
+        assert_eq!(r.spikes_per_image[0], 4.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "step count mismatch")]
+    fn merge_rejects_different_steps() {
+        let mut a = SpikeStats::new(1, 1, 2);
+        let b = SpikeStats::new(1, 1, 3);
+        a.merge(&b);
+    }
+
+    #[test]
+    fn mean_spike_rate_ignores_silent_nodes() {
+        let mut s = SpikeStats::new(4, 1, 1);
+        s.record(1, 2, 4);
+        s.record(2, 6, 4);
+        let r = s.report();
+        assert!((r.mean_spike_rate() - 1.0).abs() < 1e-9); // (0.5 + 1.5)/2
+    }
+}

@@ -1,0 +1,74 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error type for fallible tensor constructors and reshaping operations.
+///
+/// Hot-path kernels (`matmul`, `conv2d`, elementwise ops) panic on shape
+/// mismatch instead — a mismatched shape there is a programming error, and
+/// the panic message names both shapes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// The provided data length does not match the product of the shape.
+    LengthMismatch {
+        /// Number of elements implied by the requested shape.
+        expected: usize,
+        /// Number of elements actually provided.
+        actual: usize,
+    },
+    /// A reshape was requested to a shape with a different element count.
+    ReshapeMismatch {
+        /// Source shape.
+        from: Vec<usize>,
+        /// Requested shape.
+        to: Vec<usize>,
+    },
+    /// An axis index was out of range for the tensor's rank.
+    AxisOutOfRange {
+        /// The offending axis.
+        axis: usize,
+        /// The tensor rank.
+        rank: usize,
+    },
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::LengthMismatch { expected, actual } => write!(
+                f,
+                "data length {actual} does not match shape volume {expected}"
+            ),
+            TensorError::ReshapeMismatch { from, to } => write!(
+                f,
+                "cannot reshape tensor of shape {from:?} into shape {to:?}"
+            ),
+            TensorError::AxisOutOfRange { axis, rank } => {
+                write!(f, "axis {axis} out of range for rank-{rank} tensor")
+            }
+        }
+    }
+}
+
+impl Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_concise() {
+        let e = TensorError::LengthMismatch {
+            expected: 4,
+            actual: 3,
+        };
+        let s = e.to_string();
+        assert!(s.contains('3') && s.contains('4'));
+        assert!(s.chars().next().unwrap().is_lowercase());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TensorError>();
+    }
+}

@@ -1,0 +1,51 @@
+//! Dense `f32` tensor kernels for the `ultralow-snn` workspace.
+//!
+//! This crate is the numeric substrate for the reproduction of
+//! *"Can Deep Neural Networks be Converted to Ultra Low-Latency Spiking
+//! Neural Networks?"* (Datta & Beerel, DATE 2022). It provides a contiguous
+//! row-major [`Tensor`] with the operations the paper's models need:
+//!
+//! * elementwise arithmetic and mapping ([`Tensor::add`], [`Tensor::map`], …)
+//! * matrix multiplication ([`matmul`])
+//! * 2-d convolution via im2col with full backward passes ([`conv`])
+//! * max / average pooling with backward passes ([`pool`])
+//! * reductions, softmax, and clipping (the threshold-ReLU of Eq. 1)
+//! * statistics used by the conversion algorithm: percentiles and
+//!   histograms of pre-activation values ([`stats`])
+//! * seeded weight initialisation ([`init`])
+//!
+//! Everything is deterministic given a seed; there is no threading, no
+//! `unsafe`, and no external BLAS, so results are bit-reproducible across
+//! runs — a property the experiment harness relies on.
+//!
+//! # Example
+//!
+//! ```
+//! use ull_tensor::Tensor;
+//!
+//! let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2])?;
+//! let b = Tensor::eye(2);
+//! let c = ull_tensor::matmul(&a, &b);
+//! assert_eq!(c.data(), a.data());
+//! # Ok::<(), ull_tensor::TensorError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod ops;
+mod tensor;
+
+pub mod conv;
+pub mod init;
+pub mod matmul;
+pub mod pool;
+pub mod stats;
+
+pub use error::TensorError;
+pub use matmul::{matmul, matmul_transpose_a, matmul_transpose_b};
+pub use tensor::Tensor;
+
+/// Convenience alias for results returned by fallible tensor constructors.
+pub type Result<T> = std::result::Result<T, TensorError>;

@@ -1,0 +1,211 @@
+//! Matrix multiplication kernels.
+//!
+//! Three variants cover the needs of forward and backward passes without
+//! materialising transposes:
+//!
+//! * [`matmul`] — `C = A · B`
+//! * [`matmul_transpose_a`] — `C = Aᵀ · B` (weight gradients)
+//! * [`matmul_transpose_b`] — `C = A · Bᵀ` (input gradients)
+//!
+//! All kernels use the cache-friendly `i-k-j` loop order over contiguous
+//! rows, which is the fastest portable ordering for row-major data without
+//! explicit blocking or SIMD intrinsics.
+
+use crate::Tensor;
+
+/// `C = A · B` for rank-2 tensors `A: [m, k]`, `B: [k, n]`.
+///
+/// # Panics
+///
+/// Panics if either operand is not rank 2 or the inner dimensions disagree.
+///
+/// # Example
+///
+/// ```
+/// use ull_tensor::{matmul, Tensor};
+/// let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2])?;
+/// let b = Tensor::from_vec(vec![5.0, 6.0, 7.0, 8.0], &[2, 2])?;
+/// assert_eq!(matmul(&a, &b).data(), &[19.0, 22.0, 43.0, 50.0]);
+/// # Ok::<(), ull_tensor::TensorError>(())
+/// ```
+pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, k) = dims2(a, "matmul lhs");
+    let (k2, n) = dims2(b, "matmul rhs");
+    assert_eq!(k, k2, "matmul: inner dims disagree ({k} vs {k2})");
+    let mut out = vec![0.0f32; m * n];
+    let ad = a.data();
+    let bd = b.data();
+    for i in 0..m {
+        let arow = &ad[i * k..(i + 1) * k];
+        let orow = &mut out[i * n..(i + 1) * n];
+        for (p, &av) in arow.iter().enumerate() {
+            if av == 0.0 {
+                continue; // spike matrices are sparse; skipping zeros is the AC model
+            }
+            let brow = &bd[p * n..(p + 1) * n];
+            for (o, &bv) in orow.iter_mut().zip(brow) {
+                *o += av * bv;
+            }
+        }
+    }
+    Tensor::from_vec(out, &[m, n]).expect("matmul output length is m*n by construction")
+}
+
+/// `C = Aᵀ · B` for `A: [k, m]`, `B: [k, n]` giving `C: [m, n]`.
+///
+/// # Panics
+///
+/// Panics if either operand is not rank 2 or the leading dimensions disagree.
+pub fn matmul_transpose_a(a: &Tensor, b: &Tensor) -> Tensor {
+    let (k, m) = dims2(a, "matmul_transpose_a lhs");
+    let (k2, n) = dims2(b, "matmul_transpose_a rhs");
+    assert_eq!(k, k2, "matmul_transpose_a: leading dims disagree ({k} vs {k2})");
+    let mut out = vec![0.0f32; m * n];
+    let ad = a.data();
+    let bd = b.data();
+    for p in 0..k {
+        let arow = &ad[p * m..(p + 1) * m];
+        let brow = &bd[p * n..(p + 1) * n];
+        for (i, &av) in arow.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let orow = &mut out[i * n..(i + 1) * n];
+            for (o, &bv) in orow.iter_mut().zip(brow) {
+                *o += av * bv;
+            }
+        }
+    }
+    Tensor::from_vec(out, &[m, n]).expect("matmul_transpose_a output length is m*n")
+}
+
+/// `C = A · Bᵀ` for `A: [m, k]`, `B: [n, k]` giving `C: [m, n]`.
+///
+/// # Panics
+///
+/// Panics if either operand is not rank 2 or the trailing dimensions disagree.
+pub fn matmul_transpose_b(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, k) = dims2(a, "matmul_transpose_b lhs");
+    let (n, k2) = dims2(b, "matmul_transpose_b rhs");
+    assert_eq!(k, k2, "matmul_transpose_b: trailing dims disagree ({k} vs {k2})");
+    let mut out = vec![0.0f32; m * n];
+    let ad = a.data();
+    let bd = b.data();
+    for i in 0..m {
+        let arow = &ad[i * k..(i + 1) * k];
+        let orow = &mut out[i * n..(i + 1) * n];
+        for (j, o) in orow.iter_mut().enumerate() {
+            let brow = &bd[j * k..(j + 1) * k];
+            let mut acc = 0.0f32;
+            for (&av, &bv) in arow.iter().zip(brow) {
+                acc += av * bv;
+            }
+            *o = acc;
+        }
+    }
+    Tensor::from_vec(out, &[m, n]).expect("matmul_transpose_b output length is m*n")
+}
+
+fn dims2(t: &Tensor, what: &str) -> (usize, usize) {
+    assert_eq!(t.rank(), 2, "{what} must be rank 2, got shape {:?}", t.shape());
+    (t.shape()[0], t.shape()[1])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive(a: &Tensor, b: &Tensor) -> Tensor {
+        let (m, k) = (a.shape()[0], a.shape()[1]);
+        let n = b.shape()[1];
+        let mut out = Tensor::zeros(&[m, n]);
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0;
+                for p in 0..k {
+                    acc += a.at(&[i, p]) * b.at(&[p, j]);
+                }
+                out.set(&[i, j], acc);
+            }
+        }
+        out
+    }
+
+    fn rand_tensor(shape: &[usize], seed: u64) -> Tensor {
+        // Cheap deterministic LCG; avoids pulling rand into unit tests.
+        let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+        let n: usize = shape.iter().product();
+        let data: Vec<f32> = (0..n)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                ((state >> 33) as f32 / (1u64 << 31) as f32) - 1.0
+            })
+            .collect();
+        Tensor::from_vec(data, shape).unwrap()
+    }
+
+    fn assert_close(a: &Tensor, b: &Tensor, tol: f32) {
+        assert_eq!(a.shape(), b.shape());
+        for (x, y) in a.data().iter().zip(b.data()) {
+            assert!((x - y).abs() <= tol, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let a = rand_tensor(&[4, 4], 1);
+        let i = Tensor::eye(4);
+        assert_close(&matmul(&a, &i), &a, 1e-6);
+        assert_close(&matmul(&i, &a), &a, 1e-6);
+    }
+
+    #[test]
+    fn matmul_matches_naive() {
+        let a = rand_tensor(&[5, 7], 2);
+        let b = rand_tensor(&[7, 3], 3);
+        assert_close(&matmul(&a, &b), &naive(&a, &b), 1e-5);
+    }
+
+    #[test]
+    fn matmul_rectangular_shapes() {
+        let a = rand_tensor(&[1, 9], 4);
+        let b = rand_tensor(&[9, 1], 5);
+        let c = matmul(&a, &b);
+        assert_eq!(c.shape(), &[1, 1]);
+        assert_close(&c, &naive(&a, &b), 1e-5);
+    }
+
+    #[test]
+    fn transpose_a_matches_explicit_transpose() {
+        let a = rand_tensor(&[6, 4], 6);
+        let b = rand_tensor(&[6, 5], 7);
+        assert_close(&matmul_transpose_a(&a, &b), &matmul(&a.transpose(), &b), 1e-5);
+    }
+
+    #[test]
+    fn transpose_b_matches_explicit_transpose() {
+        let a = rand_tensor(&[3, 8], 8);
+        let b = rand_tensor(&[5, 8], 9);
+        assert_close(&matmul_transpose_b(&a, &b), &matmul(&a, &b.transpose()), 1e-5);
+    }
+
+    #[test]
+    fn zero_rows_are_skipped_correctly() {
+        // Sparse spike-like lhs: results must still be exact.
+        let mut a = rand_tensor(&[4, 6], 10);
+        for j in 0..6 {
+            a.set(&[1, j], 0.0);
+            a.set(&[3, j], 0.0);
+        }
+        let b = rand_tensor(&[6, 3], 11);
+        assert_close(&matmul(&a, &b), &naive(&a, &b), 1e-5);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dims disagree")]
+    fn mismatched_inner_dims_panic() {
+        let a = Tensor::zeros(&[2, 3]);
+        let b = Tensor::zeros(&[4, 2]);
+        let _ = matmul(&a, &b);
+    }
+}

@@ -1,0 +1,142 @@
+//! Property-based tests for the tensor kernels.
+
+use proptest::prelude::*;
+use ull_tensor::conv::{conv2d, ConvGeometry};
+use ull_tensor::pool::{avgpool2d, maxpool2d};
+use ull_tensor::stats::{moments, percentile, Histogram};
+use ull_tensor::{matmul, matmul_transpose_a, matmul_transpose_b, Tensor};
+
+fn tensor_strategy(max_len: usize) -> impl Strategy<Value = Vec<f32>> {
+    proptest::collection::vec(-10.0f32..10.0, 1..max_len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn matmul_distributes_over_addition(
+        a in proptest::collection::vec(-2.0f32..2.0, 12),
+        b in proptest::collection::vec(-2.0f32..2.0, 12),
+        c in proptest::collection::vec(-2.0f32..2.0, 12),
+    ) {
+        // A(B + C) == AB + AC for 3x4 * 4x3.
+        let a = Tensor::from_vec(a, &[3, 4]).unwrap();
+        let b = Tensor::from_vec(b, &[4, 3]).unwrap();
+        let c = Tensor::from_vec(c, &[4, 3]).unwrap();
+        let lhs = matmul(&a, &b.add(&c));
+        let rhs = matmul(&a, &b).add(&matmul(&a, &c));
+        for (x, y) in lhs.data().iter().zip(rhs.data()) {
+            prop_assert!((x - y).abs() < 1e-3, "{} vs {}", x, y);
+        }
+    }
+
+    #[test]
+    fn matmul_transposes_are_consistent(
+        a in proptest::collection::vec(-2.0f32..2.0, 8),
+        b in proptest::collection::vec(-2.0f32..2.0, 12),
+    ) {
+        // (AB)^T == B^T A^T, exercised through all three kernels.
+        let a = Tensor::from_vec(a, &[2, 4]).unwrap();
+        let b = Tensor::from_vec(b, &[4, 3]).unwrap();
+        let ab_t = matmul(&a, &b).transpose();
+        let bt_at = matmul(&b.transpose(), &a.transpose());
+        for (x, y) in ab_t.data().iter().zip(bt_at.data()) {
+            prop_assert!((x - y).abs() < 1e-4);
+        }
+        // Same result via the fused kernels.
+        let via_ta = matmul_transpose_a(&a.transpose(), &b);
+        let via_tb = matmul_transpose_b(&a, &b.transpose());
+        for (x, y) in via_ta.data().iter().zip(via_tb.data()) {
+            prop_assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn conv_is_linear_in_input(
+        x1 in proptest::collection::vec(-2.0f32..2.0, 32),
+        x2 in proptest::collection::vec(-2.0f32..2.0, 32),
+        w in proptest::collection::vec(-1.0f32..1.0, 18),
+    ) {
+        let geo = ConvGeometry::square(3, 1, 1);
+        let x1 = Tensor::from_vec(x1, &[1, 2, 4, 4]).unwrap();
+        let x2 = Tensor::from_vec(x2, &[1, 2, 4, 4]).unwrap();
+        let w = Tensor::from_vec(w, &[1, 2, 3, 3]).unwrap();
+        let sum = conv2d(&x1.add(&x2), &w, None, geo);
+        let parts = conv2d(&x1, &w, None, geo).add(&conv2d(&x2, &w, None, geo));
+        for (a, b) in sum.data().iter().zip(parts.data()) {
+            prop_assert!((a - b).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn maxpool_dominates_avgpool(x in proptest::collection::vec(-5.0f32..5.0, 16)) {
+        let t = Tensor::from_vec(x, &[1, 1, 4, 4]).unwrap();
+        let mx = maxpool2d(&t, 2).output;
+        let av = avgpool2d(&t, 2);
+        for (m, a) in mx.data().iter().zip(av.data()) {
+            prop_assert!(m >= a);
+        }
+    }
+
+    #[test]
+    fn maxpool_output_is_subset_of_input(x in proptest::collection::vec(-5.0f32..5.0, 16)) {
+        let t = Tensor::from_vec(x.clone(), &[1, 1, 4, 4]).unwrap();
+        let mx = maxpool2d(&t, 2);
+        for &v in mx.output.data() {
+            prop_assert!(x.contains(&v));
+        }
+        // argmax indices point at the winning values.
+        for (i, &arg) in mx.argmax.iter().enumerate() {
+            prop_assert_eq!(x[arg], mx.output.data()[i]);
+        }
+    }
+
+    #[test]
+    fn moments_are_translation_equivariant(
+        x in tensor_strategy(64),
+        shift in -5.0f32..5.0,
+    ) {
+        let m0 = moments(&x);
+        let shifted: Vec<f32> = x.iter().map(|v| v + shift).collect();
+        let m1 = moments(&shifted);
+        prop_assert!((m1.mean - (m0.mean + shift)).abs() < 1e-3);
+        prop_assert!((m1.std - m0.std).abs() < 1e-3);
+    }
+
+    #[test]
+    fn percentile_brackets_values(x in tensor_strategy(64), q in 0.0f32..100.0) {
+        let p = percentile(&x, q);
+        let min = x.iter().copied().fold(f32::INFINITY, f32::min);
+        let max = x.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        prop_assert!(p >= min && p <= max);
+    }
+
+    #[test]
+    fn histogram_total_matches_records(x in tensor_strategy(128)) {
+        let mut h = Histogram::new(-10.0, 10.0, 16);
+        h.record_all(&x);
+        prop_assert_eq!(h.total as usize, x.len());
+        let counted: u64 = h.counts.iter().sum();
+        prop_assert_eq!(counted, h.total);
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant(x in proptest::collection::vec(-5.0f32..5.0, 6), c in -10.0f32..10.0) {
+        let t = Tensor::from_vec(x.clone(), &[2, 3]).unwrap();
+        let shifted = t.add_scalar(c);
+        let s1 = t.softmax_rows();
+        let s2 = shifted.softmax_rows();
+        for (a, b) in s1.data().iter().zip(s2.data()) {
+            prop_assert!((a - b).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn clip_is_idempotent_and_bounded(x in tensor_strategy(32), hi in 0.1f32..5.0) {
+        let t = Tensor::from_slice(&x);
+        let c1 = t.clip(0.0, hi);
+        let c2 = c1.clip(0.0, hi);
+        prop_assert_eq!(&c1, &c2);
+        prop_assert!(c1.data().iter().all(|&v| (0.0..=hi).contains(&v)));
+    }
+}

@@ -1,0 +1,74 @@
+//! Compares every conversion strategy at ultra-low latency (the mechanism
+//! behind Fig. 2 and the §IV-B ablation): trains one DNN, then converts it
+//! with each method and reports conversion-only accuracy at several T.
+//!
+//! Expected shape (matching the paper):
+//! * all methods improve as T grows;
+//! * `MaxPreactivation` (d_max thresholds, [15]) is the worst at small T;
+//! * the paper's `AlphaBeta` scaling is the best at T = 2–3.
+//!
+//! Run with:
+//!
+//! ```sh
+//! cargo run --release --example conversion_methods
+//! ```
+
+use ultralow_snn::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let data_cfg = SynthCifarConfig::small(10);
+    let (train, test) = generate(&data_cfg);
+
+    // Train the source DNN once.
+    let mut dnn = models::vgg_micro(data_cfg.classes, data_cfg.image_size, 0.5, 21);
+    let sgd = Sgd::new(SgdConfig {
+        lr: 0.05,
+        momentum: 0.9,
+        weight_decay: 1e-4,
+    });
+    let tcfg = TrainConfig {
+        batch_size: 32,
+        augment_pad: 0,
+        augment_flip: false,
+    };
+    let mut rng = seeded_rng(3);
+    let epochs = 10;
+    let schedule = LrSchedule::paper(epochs);
+    for e in 0..epochs {
+        train_epoch(&mut dnn, &train, &sgd, schedule.factor(e), &tcfg, &mut rng);
+    }
+    let dnn_acc = evaluate(&dnn, &test, 32);
+    println!("source DNN accuracy: {:.2} %\n", dnn_acc * 100.0);
+
+    let methods: [(&str, ConversionMethod); 5] = [
+        ("threshold-balance (V=mu)", ConversionMethod::ThresholdBalance),
+        (
+            "max pre-activation [15]",
+            ConversionMethod::MaxPreactivation { percentile: 100.0 },
+        ),
+        ("bias shift d=V/2T [15]", ConversionMethod::BiasShift),
+        (
+            "scaling heuristic [16,24]",
+            ConversionMethod::ScalingHeuristic { factor: 0.6 },
+        ),
+        ("alpha/beta (this paper)", ConversionMethod::AlphaBeta),
+    ];
+    let ts = [1usize, 2, 3, 5, 8, 16];
+
+    print!("{:<28}", "method \\ T");
+    for t in ts {
+        print!("{t:>8}");
+    }
+    println!();
+    for (name, method) in methods {
+        print!("{name:<28}");
+        for t in ts {
+            let (snn, _) = convert(&dnn, &train, method, t)?;
+            let (acc, _) = evaluate_snn(&snn, &test, t, 32);
+            print!("{:>7.1}%", acc * 100.0);
+        }
+        println!();
+    }
+    println!("\n(DNN reference: {:.1} %; chance: {:.1} %)", dnn_acc * 100.0, 100.0 / data_cfg.classes as f32);
+    Ok(())
+}

@@ -1,0 +1,65 @@
+//! Quickstart: train a small DNN, convert it to a 2-time-step SNN with the
+//! paper's percentile α/β scaling (Algorithm 1), fine-tune with surrogate
+//! gradients, and print the Table-I-style accuracy triple.
+//!
+//! Run with:
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use ultralow_snn::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // SynthCifar stands in for CIFAR-10 (DESIGN.md §2).
+    let data_cfg = SynthCifarConfig::small(10);
+    println!(
+        "generating SynthCifar-{}: {} train / {} test images of {}x{}",
+        data_cfg.classes,
+        data_cfg.train_size,
+        data_cfg.test_size,
+        data_cfg.image_size,
+        data_cfg.image_size
+    );
+    let (train, test) = generate(&data_cfg);
+
+    // A width-reduced VGG with trainable-threshold ReLU activations.
+    let mut dnn = models::vgg_micro(data_cfg.classes, data_cfg.image_size, 0.5, 42);
+    println!("\nmodel:\n{}", dnn.describe());
+
+    let t = 2; // ultra-low latency: two time steps
+    let mut cfg = PipelineConfig::small(t);
+    cfg.dnn_epochs = 10;
+    cfg.snn_epochs = 5;
+
+    let mut rng = seeded_rng(7);
+    let (report, snn) = run_pipeline(&mut dnn, &train, &test, &cfg, &mut rng)?;
+
+    println!("\n=== Table-I style result (T = {t}) ===");
+    println!("(a) DNN accuracy:                 {:.2} %", report.dnn_accuracy * 100.0);
+    println!("(b) after DNN->SNN conversion:    {:.2} %", report.converted_accuracy * 100.0);
+    println!("(c) after SGL fine-tuning:        {:.2} %", report.snn_accuracy * 100.0);
+
+    // Full per-layer picture: scalings, rate errors by depth, spike rates.
+    let summary = ultralow_snn::core::ConversionSummary::measure(
+        &dnn,
+        &snn,
+        &report.scalings,
+        &train,
+        &test,
+        t,
+        32,
+    );
+    println!("\n{}", summary.to_markdown());
+
+    // Where did the spikes go?
+    let (_, stats) = evaluate_snn(&snn, &test, t, 32);
+    let activity = stats.report();
+    println!(
+        "\ntotal spikes per image over {} steps: {:.0} (mean rate {:.3} spikes/neuron)",
+        t,
+        activity.total_spikes_per_image(),
+        activity.mean_spike_rate()
+    );
+    Ok(())
+}

@@ -1,0 +1,59 @@
+//! Direct encoding vs Poisson rate coding — the paper's §I motivation:
+//! feeding analog pixels to the first layer ("direct encoding") reaches
+//! usable accuracy with an order of magnitude fewer time steps than
+//! classical rate coding.
+//!
+//! Run with:
+//!
+//! ```sh
+//! cargo run --release --example rate_vs_direct
+//! ```
+
+use ultralow_snn::prelude::*;
+use ultralow_snn::snn::InputEncoding;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let data_cfg = SynthCifarConfig::small(10);
+    let (train, test) = generate(&data_cfg);
+
+    // Train a DNN and convert with the paper's method.
+    let mut dnn = models::vgg_micro(data_cfg.classes, data_cfg.image_size, 0.5, 77);
+    let mut cfg = PipelineConfig::small(2);
+    cfg.dnn_epochs = 10;
+    cfg.snn_epochs = 4;
+    let mut rng = seeded_rng(6);
+    let (report, snn) = run_pipeline(&mut dnn, &train, &test, &cfg, &mut rng)?;
+    println!(
+        "SNN fine-tuned at T=2 with direct encoding: {:.1} %\n",
+        report.snn_accuracy * 100.0
+    );
+
+    let accuracy_with = |encoding: InputEncoding, t: usize, seed: u64| -> f32 {
+        let mut rng = seeded_rng(seed);
+        let mut correct = 0usize;
+        let mut seen = 0usize;
+        for batch in test.eval_batches(32) {
+            let out = snn.forward_with_encoding(&batch.images, t, encoding, &mut rng);
+            for (p, &y) in out.logits.argmax_rows().iter().zip(&batch.labels) {
+                if *p == y {
+                    correct += 1;
+                }
+            }
+            seen += batch.labels.len();
+        }
+        correct as f32 / seen as f32
+    };
+
+    println!("{:<10}{:>12}{:>16}", "T", "direct", "rate-coded");
+    for t in [2usize, 4, 8, 16, 32, 64] {
+        let direct = accuracy_with(InputEncoding::Direct, t, 1);
+        let rate = accuracy_with(InputEncoding::PoissonRate { max_rate: 0.9 }, t, 1);
+        println!("{:<10}{:>11.1}%{:>15.1}%", t, direct * 100.0, rate * 100.0);
+    }
+    println!(
+        "\nreading: the network was tuned for direct encoding at T=2; rate coding\n\
+         needs far more steps before its stochastic input rates resolve — the gap\n\
+         the paper cites ([7]-[9]) as the reason to adopt direct encoding."
+    );
+    Ok(())
+}
