@@ -20,7 +20,11 @@ fn bench_staircase(c: &mut Criterion) {
     let cfg = StaircaseConfig::bias_added(1.0, 3);
     let xs: Vec<f32> = (0..1000).map(|i| i as f32 * 0.002).collect();
     c.bench_function("staircase_eval_1k_points", |b| {
-        b.iter(|| xs.iter().map(|&s| snn_staircase(black_box(s), &cfg)).sum::<f32>())
+        b.iter(|| {
+            xs.iter()
+                .map(|&s| snn_staircase(black_box(s), &cfg))
+                .sum::<f32>()
+        })
     });
 }
 
@@ -39,7 +43,11 @@ fn bench_error_model(c: &mut Criterion) {
 fn bench_algorithm1(c: &mut Criterion) {
     let samples = skewed_samples(20_000);
     let table = percentile_table(&samples);
-    let candidates: Vec<f32> = table.iter().copied().filter(|&p| p > 0.0 && p <= 1.0).collect();
+    let candidates: Vec<f32> = table
+        .iter()
+        .copied()
+        .filter(|&p| p > 0.0 && p <= 1.0)
+        .collect();
     let mut g = c.benchmark_group("algorithm1");
     g.sample_size(10);
     g.bench_function("compute_loss_once", |b| {

@@ -1,0 +1,90 @@
+//! 1-thread vs N-thread benches for the `ull-tensor` worker pool.
+//!
+//! Each workload runs with the pool pinned to 1 thread and then to 4, via
+//! `ull_tensor::parallel::set_threads` (the programmatic equivalent of
+//! `ULL_THREADS`). The same partitioning produces bit-identical results in
+//! both configurations — only wall-clock time changes — so the ratio of
+//! the two medians is the pool's speedup on that kernel:
+//!
+//! * `matmul_256`: 256×256 · 256×256 row-blocked matmul
+//! * `conv2d_32x32x64`: 64→64-channel 3×3 convolution on 32×32 images
+//! * `snn_forward_t3`: a 4-weighted-layer SNN simulated for T = 3 steps,
+//!   batch-parallel over 8 images
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use ull_nn::NetworkBuilder;
+use ull_snn::{SnnNetwork, SpikeSpec};
+use ull_tensor::conv::{conv2d, ConvGeometry};
+use ull_tensor::init::{normal, seeded_rng};
+use ull_tensor::{matmul, parallel};
+
+const THREAD_COUNTS: [usize; 2] = [1, 4];
+
+fn bench_matmul_threads(c: &mut Criterion) {
+    let a = normal(&[256, 256], 0.0, 1.0, &mut seeded_rng(1));
+    let b = normal(&[256, 256], 0.0, 1.0, &mut seeded_rng(2));
+    let mut g = c.benchmark_group("matmul_256");
+    g.sample_size(20);
+    for threads in THREAD_COUNTS {
+        g.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |bch, &t| {
+            parallel::set_threads(t);
+            bch.iter(|| matmul(black_box(&a), black_box(&b)));
+            parallel::set_threads(0);
+        });
+    }
+    g.finish();
+}
+
+fn bench_conv_threads(c: &mut Criterion) {
+    let x = normal(&[4, 64, 32, 32], 0.0, 1.0, &mut seeded_rng(3));
+    let w = normal(&[64, 64, 3, 3], 0.0, 0.1, &mut seeded_rng(4));
+    let geo = ConvGeometry::square(3, 1, 1);
+    let mut g = c.benchmark_group("conv2d_32x32x64");
+    g.sample_size(10);
+    for threads in THREAD_COUNTS {
+        g.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |bch, &t| {
+            parallel::set_threads(t);
+            bch.iter(|| conv2d(black_box(&x), black_box(&w), None, geo));
+            parallel::set_threads(0);
+        });
+    }
+    g.finish();
+}
+
+fn bench_snn_forward_threads(c: &mut Criterion) {
+    // Four weighted layers (conv, conv, linear, linear) with three spike
+    // layers between them — the shape of the paper's low-latency models.
+    let mut b = NetworkBuilder::new(3, 16, 5);
+    b.conv2d(16, 3, 1, 1);
+    b.threshold_relu(1.0);
+    b.maxpool(2);
+    b.conv2d(32, 3, 1, 1);
+    b.threshold_relu(1.0);
+    b.maxpool(2);
+    b.flatten();
+    b.linear(64);
+    b.threshold_relu(1.0);
+    b.linear(10);
+    let dnn = b.build();
+    let specs = vec![SpikeSpec::scaled(1.0, 0.8, 1.1); 3];
+    let snn = SnnNetwork::from_network(&dnn, &specs).unwrap();
+    let x = normal(&[8, 3, 16, 16], 0.0, 1.0, &mut seeded_rng(6));
+    let mut g = c.benchmark_group("snn_forward_t3");
+    g.sample_size(10);
+    for threads in THREAD_COUNTS {
+        g.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |bch, &t| {
+            parallel::set_threads(t);
+            bch.iter(|| snn.forward(black_box(&x), 3));
+            parallel::set_threads(0);
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_matmul_threads,
+    bench_conv_threads,
+    bench_snn_forward_threads
+);
+criterion_main!(benches);

@@ -13,7 +13,9 @@ fn bench_matmul(c: &mut Criterion) {
     let bt = normal(&[64, 256], 0.0, 1.0, &mut rng);
     let at = a.transpose();
     let mut g = c.benchmark_group("matmul_64x256x64");
-    g.bench_function("plain", |bch| bch.iter(|| matmul(black_box(&a), black_box(&b))));
+    g.bench_function("plain", |bch| {
+        bch.iter(|| matmul(black_box(&a), black_box(&b)))
+    });
     g.bench_function("transpose_a", |bch| {
         bch.iter(|| matmul_transpose_a(black_box(&at), black_box(&b)))
     });

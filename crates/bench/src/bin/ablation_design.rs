@@ -61,7 +61,14 @@ fn sgl(
     let mut rng = seeded_rng(31);
     let mut best = 0.0f32;
     for e in 0..epochs {
-        train_snn_epoch(snn, train, &sgd, LrSchedule::paper(epochs).factor(e), &cfg, &mut rng);
+        train_snn_epoch(
+            snn,
+            train,
+            &sgd,
+            LrSchedule::paper(epochs).factor(e),
+            &cfg,
+            &mut rng,
+        );
         if !train_leak {
             // IF ablation: pin the leak back to 1 after each step.
             for node in snn.nodes_mut() {
@@ -83,15 +90,38 @@ fn main() {
     let t = 2;
     let (train, test) = load_data(scale, classes);
     let mut rng = seeded_rng(42);
-    let (dnn, dnn_acc) =
-        train_or_load_dnn("vgg16", scale, Arch::Vgg16, classes, &train, &test, &mut rng);
+    let (dnn, dnn_acc) = train_or_load_dnn(
+        "vgg16",
+        scale,
+        Arch::Vgg16,
+        classes,
+        &train,
+        &test,
+        &mut rng,
+    );
     println!("VGG-16 DNN reference: {:.2} %\n", dnn_acc * 100.0);
 
     // 1. IF (leak pinned to 1) vs LIF (leak trainable) during SGL.
     let (mut snn_if, _) = convert(&dnn, &train, ConversionMethod::AlphaBeta, t).expect("convert");
-    let acc_if = sgl(&mut snn_if, &train, &test, t, scale.snn_epochs(), scale.batch(), false);
+    let acc_if = sgl(
+        &mut snn_if,
+        &train,
+        &test,
+        t,
+        scale.snn_epochs(),
+        scale.batch(),
+        false,
+    );
     let (mut snn_lif, _) = convert(&dnn, &train, ConversionMethod::AlphaBeta, t).expect("convert");
-    let acc_lif = sgl(&mut snn_lif, &train, &test, t, scale.snn_epochs(), scale.batch(), true);
+    let acc_lif = sgl(
+        &mut snn_lif,
+        &train,
+        &test,
+        t,
+        scale.snn_epochs(),
+        scale.batch(),
+        true,
+    );
     let final_leaks: Vec<f32> = snn_lif
         .nodes()
         .iter()
@@ -100,8 +130,18 @@ fn main() {
             _ => None,
         })
         .collect();
-    println!("1. SGL at T={t}: IF (leak=1) {:.2} %  vs  LIF (trainable leak) {:.2} %", acc_if * 100.0, acc_lif * 100.0);
-    println!("   learned leaks: {:?}", final_leaks.iter().map(|l| (l * 100.0).round() / 100.0).collect::<Vec<_>>());
+    println!(
+        "1. SGL at T={t}: IF (leak=1) {:.2} %  vs  LIF (trainable leak) {:.2} %",
+        acc_if * 100.0,
+        acc_lif * 100.0
+    );
+    println!(
+        "   learned leaks: {:?}",
+        final_leaks
+            .iter()
+            .map(|l| (l * 100.0).round() / 100.0)
+            .collect::<Vec<_>>()
+    );
 
     // 2. Amplitude folding equivalence on the fine-tuned network.
     let mut folded = snn_lif.clone();
@@ -124,7 +164,8 @@ fn main() {
     println!("2. fold_amplitudes max |logit difference|: {fold_diff:.2e} (spikes now binary)");
 
     // 3. α/β with and without the bias shift the paper removed.
-    let (snn_ab, scalings) = convert(&dnn, &train, ConversionMethod::AlphaBeta, t).expect("convert");
+    let (snn_ab, scalings) =
+        convert(&dnn, &train, ConversionMethod::AlphaBeta, t).expect("convert");
     let (acc_ab, _) = evaluate_snn(&snn_ab, &test, t, scale.batch());
     let specs_bias: Vec<SpikeSpec> = scalings
         .iter()

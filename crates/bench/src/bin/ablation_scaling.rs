@@ -60,7 +60,14 @@ fn sgl_finetune(
     let mut rng = seeded_rng(77);
     let mut best = 0.0f32;
     for e in 0..epochs {
-        train_snn_epoch(snn, train, &sgd, LrSchedule::paper(epochs).factor(e), &cfg, &mut rng);
+        train_snn_epoch(
+            snn,
+            train,
+            &sgd,
+            LrSchedule::paper(epochs).factor(e),
+            &cfg,
+            &mut rng,
+        );
         let (acc, _) = evaluate_snn(snn, test, t, batch);
         best = best.max(acc);
     }
@@ -72,8 +79,15 @@ fn main() {
     let classes = 10;
     let (train, test) = load_data(scale, classes);
     let mut rng = seeded_rng(42);
-    let (dnn, dnn_acc) =
-        train_or_load_dnn("vgg16", scale, Arch::Vgg16, classes, &train, &test, &mut rng);
+    let (dnn, dnn_acc) = train_or_load_dnn(
+        "vgg16",
+        scale,
+        Arch::Vgg16,
+        classes,
+        &train,
+        &test,
+        &mut rng,
+    );
     println!("VGG-16 DNN reference: {:.2} %\n", dnn_acc * 100.0);
 
     // Part 1: SGL starting from heuristic-scaled vs alpha/beta conversion.
@@ -87,10 +101,24 @@ fn main() {
             t,
         )
         .expect("convert heuristic");
-        let acc_h = sgl_finetune(&mut snn_h, &train, &test, t, scale.snn_epochs().min(4), scale.batch());
+        let acc_h = sgl_finetune(
+            &mut snn_h,
+            &train,
+            &test,
+            t,
+            scale.snn_epochs().min(4),
+            scale.batch(),
+        );
         let (mut snn_ab, _) =
             convert(&dnn, &train, ConversionMethod::AlphaBeta, t).expect("convert ab");
-        let acc_ab = sgl_finetune(&mut snn_ab, &train, &test, t, scale.snn_epochs().min(4), scale.batch());
+        let acc_ab = sgl_finetune(
+            &mut snn_ab,
+            &train,
+            &test,
+            t,
+            scale.snn_epochs().min(4),
+            scale.batch(),
+        );
         println!(
             "SGL from heuristic [16,24] init: T={t} -> {:.2} %   |   from alpha/beta init: {:.2} %",
             acc_h * 100.0,

@@ -13,8 +13,15 @@ fn main() {
     let classes = 10;
     let (train, test) = load_data(scale, classes);
     let mut rng = seeded_rng(42);
-    let (dnn, dnn_acc) =
-        train_or_load_dnn("resnet20", scale, Arch::ResNet20, classes, &train, &test, &mut rng);
+    let (dnn, dnn_acc) = train_or_load_dnn(
+        "resnet20",
+        scale,
+        Arch::ResNet20,
+        classes,
+        &train,
+        &test,
+        &mut rng,
+    );
     println!("ResNet-20 DNN: {:.1} %", dnn_acc * 100.0);
     for t in [2usize, 3] {
         let (snn0, _) = convert(&dnn, &train, ConversionMethod::AlphaBeta, t).expect("convert");
@@ -47,7 +54,12 @@ fn main() {
                     &mut rng,
                 );
                 let (acc, _) = evaluate_snn(&snn, &test, t, scale.batch());
-                print!(" [loss {:.2} train {:.0}% test {:.1}%]", s.loss, s.accuracy * 100.0, acc * 100.0);
+                print!(
+                    " [loss {:.2} train {:.0}% test {:.1}%]",
+                    s.loss,
+                    s.accuracy * 100.0,
+                    acc * 100.0
+                );
             }
             println!();
         }

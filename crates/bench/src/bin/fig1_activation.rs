@@ -38,9 +38,13 @@ fn main() {
     let scale = Scale::from_args();
     let t = 2;
     let (train, test) = load_data(scale, 10);
-        let mut rng = seeded_rng(11);
+    let mut rng = seeded_rng(11);
     let (dnn, acc) = train_or_load_dnn("vgg16", scale, Arch::Vgg16, 10, &train, &test, &mut rng);
-    println!("trained VGG-16 (width {}), test acc {:.1} %", scale.width(), acc * 100.0);
+    println!(
+        "trained VGG-16 (width {}), test acc {:.1} %",
+        scale.width(),
+        acc * 100.0
+    );
 
     // The paper plots the 2nd activation layer of VGG-16.
     let layers = collect_preactivations(&dnn, &train, 64, 40_000);
@@ -50,7 +54,9 @@ fn main() {
 
     // Activation curves over s in [-0.2mu, 1.4mu].
     let n = 200;
-    let curve_s: Vec<f32> = (0..n).map(|i| (-0.2 + 1.6 * i as f32 / n as f32) * mu).collect();
+    let curve_s: Vec<f32> = (0..n)
+        .map(|i| (-0.2 + 1.6 * i as f32 / n as f32) * mu)
+        .collect();
     let dnn_curve: Vec<f32> = curve_s.iter().map(|&s| dnn_activation(s, mu)).collect();
     let plain = StaircaseConfig::plain(mu, t);
     let biased = StaircaseConfig::bias_added(mu, t);
@@ -68,7 +74,10 @@ fn main() {
     let mut hist = Histogram::new(0.0, mu * 1.2, 48);
     hist.record_all(&positives);
     let mass3 = mass_below_fraction_of_max(&positives, 1.0 / 3.0);
-    println!("fraction of positive pre-activations below d_max/3: {:.1} %", mass3 * 100.0);
+    println!(
+        "fraction of positive pre-activations below d_max/3: {:.1} %",
+        mass3 * 100.0
+    );
 
     // h(T, mu) vs T (Fig. 1a insert) and K(mu).
     let ts = [1usize, 2, 3, 4, 5, 8, 16];

@@ -46,7 +46,11 @@ fn main() {
 
     let mut series = Vec::new();
     for arch in archs {
-        let tag = if arch == Arch::Vgg16 { "vgg16" } else { "resnet20" };
+        let tag = if arch == Arch::Vgg16 {
+            "vgg16"
+        } else {
+            "resnet20"
+        };
         let mut rng = seeded_rng(22);
         let (dnn, dnn_acc) = train_or_load_dnn(tag, scale, arch, classes, &train, &test, &mut rng);
         println!("\n{} DNN accuracy: {:.1} %", arch.name(), dnn_acc * 100.0);

@@ -38,8 +38,15 @@ fn main() {
     let classes = 10;
     let (train, test) = load_data(scale, classes);
     let mut rng = seeded_rng(42);
-    let (dnn, dnn_acc) =
-        train_or_load_dnn("vgg16", scale, Arch::Vgg16, classes, &train, &test, &mut rng);
+    let (dnn, dnn_acc) = train_or_load_dnn(
+        "vgg16",
+        scale,
+        Arch::Vgg16,
+        classes,
+        &train,
+        &test,
+        &mut rng,
+    );
     println!("VGG-16 DNN reference: {:.2} %\n", dnn_acc * 100.0);
 
     let mut rows = Vec::new();
@@ -48,8 +55,7 @@ fn main() {
         "T", "train s/epoch", "tape MB", "inference s", "acc %"
     );
     for t in [2usize, 3, 5] {
-        let (mut snn, _) =
-            convert(&dnn, &train, ConversionMethod::AlphaBeta, t).expect("convert");
+        let (mut snn, _) = convert(&dnn, &train, ConversionMethod::AlphaBeta, t).expect("convert");
         let sgd = SnnSgd::new(SgdConfig {
             lr: 0.005,
             momentum: 0.9,
@@ -63,7 +69,14 @@ fn main() {
             augment_flip: false,
         };
         let mut rng = seeded_rng(5);
-        let stats = train_snn_epoch(&mut snn, &train, &sgd, LrSchedule::paper(1).factor(0), &cfg, &mut rng);
+        let stats = train_snn_epoch(
+            &mut snn,
+            &train,
+            &sgd,
+            LrSchedule::paper(1).factor(0),
+            &cfg,
+            &mut rng,
+        );
         let inf_start = std::time::Instant::now();
         let (acc, _) = evaluate_snn(&snn, &test, t, scale.batch());
         let inf_seconds = inf_start.elapsed().as_secs_f64();

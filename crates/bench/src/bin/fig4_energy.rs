@@ -66,7 +66,14 @@ fn finetune(
     };
     let mut rng = seeded_rng(9);
     for e in 0..epochs {
-        train_snn_epoch(snn, train, &sgd, LrSchedule::paper(epochs).factor(e), &cfg, &mut rng);
+        train_snn_epoch(
+            snn,
+            train,
+            &sgd,
+            LrSchedule::paper(epochs).factor(e),
+            &cfg,
+            &mut rng,
+        );
     }
 }
 
@@ -82,8 +89,15 @@ fn main() {
         let image = scale.data(classes).image_size;
         let chw = [3usize, image, image];
         let mut rng = seeded_rng(42);
-        let (dnn, dnn_acc) =
-            train_or_load_dnn("vgg16", scale, Arch::Vgg16, classes, &train, &test, &mut rng);
+        let (dnn, dnn_acc) = train_or_load_dnn(
+            "vgg16",
+            scale,
+            Arch::Vgg16,
+            classes,
+            &train,
+            &test,
+            &mut rng,
+        );
         let dnn_audit = audit_dnn(&dnn, &chw);
         let dnn_row = ComparisonRow::dnn("DNN", &dnn_audit);
         println!(
@@ -96,8 +110,18 @@ fn main() {
         let variants: Vec<(String, ConversionMethod, usize, bool)> = vec![
             ("ours T=2".into(), ConversionMethod::AlphaBeta, 2, true),
             ("ours T=3".into(), ConversionMethod::AlphaBeta, 3, true),
-            ("Rathi [7] T=5".into(), ConversionMethod::ThresholdBalance, 5, true),
-            ("Deng [15] T=16".into(), ConversionMethod::BiasShift, 16, false),
+            (
+                "Rathi [7] T=5".into(),
+                ConversionMethod::ThresholdBalance,
+                5,
+                true,
+            ),
+            (
+                "Deng [15] T=16".into(),
+                ConversionMethod::BiasShift,
+                16,
+                false,
+            ),
         ];
         let mut models = Vec::new();
         println!(
@@ -107,12 +131,19 @@ fn main() {
         for (label, method, t, tune) in variants {
             let (mut snn, _) = convert(&dnn, &train, method, t).expect("convert");
             if tune {
-                finetune(&mut snn, &train, t, scale.snn_epochs().min(3), scale.batch());
+                finetune(
+                    &mut snn,
+                    &train,
+                    t,
+                    scale.snn_epochs().min(3),
+                    scale.batch(),
+                );
             }
             let (acc, stats) = evaluate_snn(&snn, &test, t, scale.batch());
             let activity = stats.report();
             let snn_audit = audit_snn(&snn, &dnn_audit, &activity);
-            let row = ComparisonRow::snn(label.clone(), &snn_audit, activity.total_spikes_per_image());
+            let row =
+                ComparisonRow::snn(label.clone(), &snn_audit, activity.total_spikes_per_image());
             let imp = row.improvement_over(&dnn_row);
             println!(
                 "{:<18}{:>6}{:>8.1}%{:>14.0}{:>12.3}{:>12.3}{:>14.4}{:>9.1}x",

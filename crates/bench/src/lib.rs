@@ -189,12 +189,23 @@ pub fn train_or_load_dnn(
     let path = dir.join(format!("{}_{}_{}.json", tag, classes, scale.name()));
     if let Ok(net) = ull_nn::load::<Network>(&path) {
         let acc = evaluate(&net, test, scale.batch());
-        println!("loaded cached DNN from {} (test {:.1} %)", path.display(), acc * 100.0);
+        println!(
+            "loaded cached DNN from {} (test {:.1} %)",
+            path.display(),
+            acc * 100.0
+        );
         return (net, acc);
     }
     let image = scale.data(classes).image_size;
     let mut net = arch.build(classes, image, scale.width(), 7);
-    let acc = train_dnn(&mut net, train, test, scale.dnn_epochs(), scale.batch(), rng);
+    let acc = train_dnn(
+        &mut net,
+        train,
+        test,
+        scale.dnn_epochs(),
+        scale.batch(),
+        rng,
+    );
     ull_nn::save(&net, &path).expect("write model cache");
     (net, acc)
 }

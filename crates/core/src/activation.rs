@@ -138,10 +138,7 @@ mod tests {
     #[test]
     fn beta_scales_heights_only() {
         let cfg1 = StaircaseConfig::plain(1.0, 4);
-        let cfg2 = StaircaseConfig {
-            beta: 1.5,
-            ..cfg1
-        };
+        let cfg2 = StaircaseConfig { beta: 1.5, ..cfg1 };
         for i in 0..100 {
             let s = i as f32 * 0.02;
             assert!((snn_staircase(s, &cfg2) - 1.5 * snn_staircase(s, &cfg1)).abs() < 1e-6);

@@ -9,6 +9,7 @@
 //! Seg-II / Seg-III of Fig. 1b) wins.
 
 use serde::{Deserialize, Serialize};
+use ull_tensor::parallel;
 use ull_tensor::stats::percentile_table;
 
 use crate::analysis::LayerActivations;
@@ -39,11 +40,18 @@ pub struct LayerScaling {
 ///
 /// Three segments (Fig. 1b):
 ///
-/// * **Seg-I** `0 ≤ p ≤ αμ`: the staircase step below `p` is
-///   `j = ⌊p·T/(αμ)⌋`, contributing `p − j·αβμ/T`.
-/// * **Seg-II** `αμ < p ≤ μ`: the staircase is saturated at `αβμ`,
-///   contributing `p − αβμ`.
+/// * **Seg-I** `0 ≤ p < αμ`: the staircase step below `p` is
+///   `j = ⌊p·T/(αμ)⌋ ≤ T−1`, contributing `p − j·αβμ/T`.
+/// * **Seg-II** `αμ ≤ p ≤ μ`: the staircase is saturated at `αβμ`,
+///   contributing `p − αβμ`. The boundary `p = αμ` belongs here: the
+///   staircase reaches its top step exactly at the threshold
+///   (`⌊T⌋ clamped to T` in [`crate::snn_staircase`]).
 /// * **Seg-III** `p > μ`: both saturate, contributing `μ − αβμ`.
+///
+/// Seg-I and Seg-II share one formula, `j = clip(⌊p·T/(αμ)⌋, 0, T)` —
+/// bit-for-bit the expression [`crate::snn_staircase`] evaluates — so the
+/// loss is exactly `Σ dnn_activation(p) − snn_staircase(p)` over the
+/// samples.
 ///
 /// # Panics
 ///
@@ -59,11 +67,12 @@ pub fn compute_loss(percentiles: &[f32], mu: f32, alpha: f32, beta: f32, t: usiz
         if p <= 0.0 {
             continue;
         }
-        let contribution = if p <= amu {
-            let j = (p * tf / amu).floor().min(tf - 1.0);
+        let contribution = if p <= mu {
+            // Seg-I / Seg-II. The clamp to T (not T−1) is what saturates
+            // the p == αμ boundary at αβμ like the real staircase; the
+            // former `min(T−1)` clamp left that point one step short.
+            let j = (p * tf / amu).floor().clamp(0.0, tf);
             p - j * alpha * beta * mu / tf
-        } else if p <= mu {
-            p - alpha * beta * mu
         } else {
             mu - alpha * beta * mu
         };
@@ -79,9 +88,15 @@ pub fn compute_loss(percentiles: &[f32], mu: f32, alpha: f32, beta: f32, t: usiz
 /// `percentiles` is the table `P[0..=M]` restricted to values ≤ μ; pass
 /// the full activation percentile table and the function trims it.
 ///
+/// A degenerate layer — no positive percentile at or below μ (all
+/// activations zero, or μ driven to its training floor below every
+/// sample) — has no α candidates, so the search returns Algorithm 1's
+/// line-1 initialisation `(α, β) = (1, 1)` with zero loss: the loss sum
+/// runs over positive percentiles only, and there are none.
+///
 /// # Panics
 ///
-/// Panics if `mu <= 0`, `t == 0`, or no percentile is positive.
+/// Panics if `mu <= 0` or `t == 0`.
 pub fn find_scaling_factors(percentiles: &[f32], mu: f32, t: usize) -> (f32, f32, f32) {
     assert!(mu > 0.0, "mu must be positive");
     assert!(t > 0, "need at least one time step");
@@ -91,24 +106,38 @@ pub fn find_scaling_factors(percentiles: &[f32], mu: f32, t: usize) -> (f32, f32
         .copied()
         .filter(|&p| p > 0.0 && p <= mu)
         .collect();
-    assert!(
-        !candidates.is_empty(),
-        "no positive percentile candidates at or below mu"
-    );
+    if candidates.is_empty() {
+        return (1.0, 1.0, 0.0);
+    }
     // Initial factors α = β = 1 (line 1 of Algorithm 1).
     let mut best = (1.0f32, 1.0f32);
     let mut best_loss = compute_loss(&candidates, mu, 1.0, 1.0, t);
     let betas: Vec<f32> = (0..=(BETA_MAX / BETA_STEP) as usize)
         .map(|i| i as f32 * BETA_STEP)
         .collect();
-    for &p in &candidates {
-        let alpha = p / mu;
-        for &beta in &betas {
+    // The α candidate set splits over the pool: each candidate's β sweep is
+    // independent, and every (α, β) loss is a fixed function of the inputs.
+    // Each work item returns its candidate's first-best (strict <, β
+    // ascending); folding those in candidate order with the same strict <
+    // replays the serial double loop exactly, so the winner — ties
+    // included — is identical for every thread count.
+    let per_candidate = parallel::par_map(candidates.len(), |ci| {
+        let alpha = candidates[ci] / mu;
+        let mut cand_best = (alpha, betas[0]);
+        let mut cand_loss = compute_loss(&candidates, mu, alpha, betas[0], t);
+        for &beta in &betas[1..] {
             let loss = compute_loss(&candidates, mu, alpha, beta, t);
-            if loss.abs() < best_loss.abs() {
-                best = (alpha, beta);
-                best_loss = loss;
+            if loss.abs() < cand_loss.abs() {
+                cand_best = (alpha, beta);
+                cand_loss = loss;
             }
+        }
+        (cand_best, cand_loss)
+    });
+    for (cand_best, cand_loss) in per_candidate {
+        if cand_loss.abs() < best_loss.abs() {
+            best = cand_best;
+            best_loss = cand_loss;
         }
     }
     (best.0, best.1, best_loss)
@@ -116,21 +145,25 @@ pub fn find_scaling_factors(percentiles: &[f32], mu: f32, t: usize) -> (f32, f32
 
 /// Runs Algorithm 1 on every layer's collected activations, producing the
 /// per-layer scalings the converter consumes.
+///
+/// Layers are searched in parallel (their searches are independent); the
+/// within-layer α split of [`find_scaling_factors`] then runs inline on
+/// each worker, so the pool is saturated at the layer level without
+/// spawning a second generation of threads. Results come back in layer
+/// order and match the serial search bit for bit.
 pub fn scale_layers(layers: &[LayerActivations], t: usize) -> Vec<LayerScaling> {
-    layers
-        .iter()
-        .map(|layer| {
-            let table = percentile_table(&layer.samples);
-            let (alpha, beta, loss) = find_scaling_factors(&table, layer.mu, t);
-            LayerScaling {
-                node: layer.node,
-                mu: layer.mu,
-                alpha,
-                beta,
-                loss,
-            }
-        })
-        .collect()
+    parallel::par_map(layers.len(), |i| {
+        let layer = &layers[i];
+        let table = percentile_table(&layer.samples);
+        let (alpha, beta, loss) = find_scaling_factors(&table, layer.mu, t);
+        LayerScaling {
+            node: layer.node,
+            mu: layer.mu,
+            alpha,
+            beta,
+            loss,
+        }
+    })
 }
 
 #[cfg(test)]
@@ -152,6 +185,32 @@ mod tests {
     }
 
     #[test]
+    fn search_is_thread_count_invariant() {
+        let _guard = parallel::override_lock();
+        let samples = skewed(1.0, 400);
+        let table = percentile_table(&samples);
+        parallel::set_threads(1);
+        let serial = find_scaling_factors(&table, 1.0, 4);
+        parallel::set_threads(4);
+        let par = find_scaling_factors(&table, 1.0, 4);
+        parallel::set_threads(0);
+        assert_eq!(serial, par, "winner must not depend on the thread count");
+    }
+
+    #[test]
+    fn degenerate_layer_falls_back_to_identity_scaling() {
+        // Regression: a dead or floor-saturated layer (all-zero samples,
+        // or μ below every positive percentile) used to panic; it now
+        // returns the Algorithm 1 initialisation (α, β) = (1, 1).
+        assert_eq!(find_scaling_factors(&[0.0; 8], 1.0, 4), (1.0, 1.0, 0.0));
+        // Every percentile is above μ → no candidate survives the trim.
+        assert_eq!(
+            find_scaling_factors(&[0.5, 0.8, 1.2], 0.01, 4),
+            (1.0, 1.0, 0.0)
+        );
+    }
+
+    #[test]
     fn compute_loss_is_zero_when_curves_match() {
         // With α=1, β=1 and percentiles exactly on staircase levels the
         // segments contribute their DNN−SNN gap; check against the direct
@@ -162,8 +221,7 @@ mod tests {
         let direct: f32 = ps
             .iter()
             .map(|&p| {
-                dnn_activation(p, mu)
-                    - snn_staircase(p, &StaircaseConfig::scaled(mu, t, 1.0, 1.0))
+                dnn_activation(p, mu) - snn_staircase(p, &StaircaseConfig::scaled(mu, t, 1.0, 1.0))
             })
             .sum();
         let algo = compute_loss(&ps, mu, 1.0, 1.0, t);
@@ -192,13 +250,70 @@ mod tests {
     }
 
     #[test]
+    fn compute_loss_saturates_at_the_seg_boundary() {
+        // At p == αμ the staircase sits on its top step (steps = T), so the
+        // contribution must be p − αβμ — not p − (T−1)/T·αβμ as the old
+        // Seg-I clamp produced. Check the exact boundary for several
+        // (α, β, T) and verify agreement with the activation functions.
+        for &(mu, alpha, beta, t) in &[
+            (1.0f32, 0.5f32, 1.2f32, 2usize),
+            (2.0, 0.25, 0.8, 3),
+            (0.7, 1.0, 1.0, 4),
+        ] {
+            let p = alpha * mu;
+            let algo = compute_loss(&[p], mu, alpha, beta, t);
+            let expected = p - alpha * beta * mu;
+            assert!(
+                (algo - expected).abs() < 1e-6,
+                "boundary α={alpha} β={beta} T={t}: {algo} vs {expected}"
+            );
+            let direct = dnn_activation(p, mu)
+                - snn_staircase(p, &StaircaseConfig::scaled(mu, t, alpha, beta));
+            assert!(
+                (algo - direct).abs() < 1e-6,
+                "activation mismatch at boundary: {algo} vs {direct}"
+            );
+        }
+    }
+
+    #[test]
+    fn compute_loss_agrees_with_activations_near_all_steps() {
+        // Dense probe including values a hair either side of every
+        // staircase step: the closed form must equal the direct
+        // DNN − SNN difference everywhere.
+        let mu = 1.0;
+        let t = 4;
+        for &(alpha, beta) in &[(0.6f32, 1.1f32), (1.0, 1.0), (0.3, 1.9)] {
+            let cfg = StaircaseConfig::scaled(mu, t, alpha, beta);
+            let mut ps = Vec::new();
+            for j in 0..=t {
+                let step = alpha * mu * j as f32 / t as f32;
+                ps.extend([step - 1e-4, step, step + 1e-4]);
+            }
+            ps.extend([mu, mu * 1.5]);
+            for &p in ps.iter().filter(|&&p| p > 0.0) {
+                let algo = compute_loss(&[p], mu, alpha, beta, t);
+                let direct = dnn_activation(p, mu) - snn_staircase(p, &cfg);
+                assert!(
+                    (algo - direct).abs() < 1e-6,
+                    "α={alpha} β={beta} p={p}: {algo} vs {direct}"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn search_improves_over_identity_for_skewed() {
         let mu = 1.0;
         let t = 2;
         let samples = skewed(mu, 4000);
         let table = ull_tensor::stats::percentile_table(&samples);
         let identity_loss = compute_loss(
-            &table.iter().copied().filter(|&p| p > 0.0 && p <= mu).collect::<Vec<_>>(),
+            &table
+                .iter()
+                .copied()
+                .filter(|&p| p > 0.0 && p <= mu)
+                .collect::<Vec<_>>(),
             mu,
             1.0,
             1.0,
@@ -222,7 +337,11 @@ mod tests {
         let mu = 1.0;
         let samples = uniform(mu, 2000);
         let table = ull_tensor::stats::percentile_table(&samples);
-        let cands: Vec<f32> = table.iter().copied().filter(|&p| p > 0.0 && p <= mu).collect();
+        let cands: Vec<f32> = table
+            .iter()
+            .copied()
+            .filter(|&p| p > 0.0 && p <= mu)
+            .collect();
         let identity = compute_loss(&cands, mu, 1.0, 1.0, 3);
         let (_, _, loss) = find_scaling_factors(&table, mu, 3);
         assert!(loss.abs() <= identity.abs() + 1e-6);
@@ -235,8 +354,7 @@ mod tests {
         let table = ull_tensor::stats::percentile_table(&samples);
         let (alpha, _, _) = find_scaling_factors(&table, mu, 2);
         // α must be a percentile divided by μ (or the identity fallback).
-        let ok = (alpha - 1.0).abs() < 1e-6
-            || table.iter().any(|&p| (p / mu - alpha).abs() < 1e-6);
+        let ok = (alpha - 1.0).abs() < 1e-6 || table.iter().any(|&p| (p / mu - alpha).abs() < 1e-6);
         assert!(ok, "alpha {alpha} not derived from a percentile");
     }
 
@@ -277,8 +395,7 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "no positive percentile")]
-    fn all_negative_percentiles_panic() {
-        find_scaling_factors(&[-1.0, -0.5], 1.0, 2);
+    fn all_negative_percentiles_fall_back_to_identity() {
+        assert_eq!(find_scaling_factors(&[-1.0, -0.5], 1.0, 2), (1.0, 1.0, 0.0));
     }
 }

@@ -203,10 +203,7 @@ pub fn layer_error_reports(layers: &[LayerActivations], ts: &[usize]) -> Vec<Lay
             let mass = if positives.is_empty() {
                 0.0
             } else {
-                positives
-                    .iter()
-                    .filter(|&&v| v <= layer.mu / 3.0)
-                    .count() as f32
+                positives.iter().filter(|&&v| v <= layer.mu / 3.0).count() as f32
                     / positives.len() as f32
             };
             LayerErrorReport {
@@ -327,7 +324,11 @@ mod tests {
         let d = delta_empirical(&s, mu, &stair);
         // The estimators differ only by the d > μ tail, which the clipped
         // skewed sample makes negligible-but-nonzero.
-        assert!((d - mu * (k - h)).abs() < 0.05, "Δ={d} vs μ(K−h)={}", mu * (k - h));
+        assert!(
+            (d - mu * (k - h)).abs() < 0.05,
+            "Δ={d} vs μ(K−h)={}",
+            mu * (k - h)
+        );
     }
 
     #[test]
@@ -355,8 +356,8 @@ mod tests {
         let deep = &layers[layers.len() - 2];
         let positives: Vec<f32> = deep.samples.iter().copied().filter(|&v| v > 0.0).collect();
         let max = positives.iter().copied().fold(0.0f32, f32::max);
-        let below_third = positives.iter().filter(|&&v| v <= max / 3.0).count() as f32
-            / positives.len() as f32;
+        let below_third =
+            positives.iter().filter(|&&v| v <= max / 3.0).count() as f32 / positives.len() as f32;
         assert!(
             below_third > 0.6,
             "expected skew: {below_third} of mass below max/3"

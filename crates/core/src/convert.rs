@@ -134,12 +134,7 @@ pub fn convert_with_budget(
     let (specs, scalings): (Vec<SpikeSpec>, Vec<LayerScaling>) = match method {
         ConversionMethod::ThresholdBalance => layers
             .iter()
-            .map(|l| {
-                (
-                    SpikeSpec::identity(l.mu),
-                    identity_scaling(l.node, l.mu),
-                )
-            })
+            .map(|l| (SpikeSpec::identity(l.mu), identity_scaling(l.node, l.mu)))
             .unzip(),
         ConversionMethod::MaxPreactivation { percentile } => {
             if !(0.0..=100.0).contains(&percentile) {

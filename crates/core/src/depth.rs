@@ -104,7 +104,10 @@ mod tests {
         let (snn, _) = convert(&dnn, &cal, ConversionMethod::ThresholdBalance, 2).unwrap();
         let rep = depth_error_report(&dnn, &snn, &cal, 2, 8);
         assert_eq!(rep.layers.len(), dnn.threshold_nodes().len());
-        assert!(rep.layers.iter().all(|&(_, e, _)| e.is_finite() && e >= 0.0));
+        assert!(rep
+            .layers
+            .iter()
+            .all(|&(_, e, _)| e.is_finite() && e >= 0.0));
     }
 
     #[test]

@@ -50,15 +50,14 @@ pub mod pipeline;
 pub mod summary;
 
 pub use activation::{dnn_activation, snn_staircase, StaircaseConfig};
-pub use algorithm1::{compute_loss, find_scaling_factors, LayerScaling};
 pub use algorithm1::scale_layers;
+pub use algorithm1::{compute_loss, find_scaling_factors, LayerScaling};
 pub use analysis::{
     collect_preactivations, delta_empirical, h_prime_t_mu, h_t_mu, k_mu, layer_error_reports,
-    LayerActivations,
-    LayerErrorReport,
+    LayerActivations, LayerErrorReport,
 };
 pub use convert::convert_with_budget;
-pub use depth::{depth_error_report, DepthErrorReport};
 pub use convert::{convert, ConversionMethod, ConvertError};
+pub use depth::{depth_error_report, DepthErrorReport};
 pub use pipeline::{run_pipeline, PipelineConfig, PipelineReport};
 pub use summary::ConversionSummary;

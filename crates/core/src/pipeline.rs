@@ -131,7 +131,14 @@ pub fn run_pipeline(
     let mut best_acc = converted_accuracy;
     let mut best_snn = snn.clone();
     for e in 0..cfg.snn_epochs {
-        train_snn_epoch(&mut snn, train_data, &snn_sgd, snn_schedule.factor(e), &stcfg, rng);
+        train_snn_epoch(
+            &mut snn,
+            train_data,
+            &snn_sgd,
+            snn_schedule.factor(e),
+            &stcfg,
+            rng,
+        );
         let (acc, _) = evaluate_snn(&snn, test_data, cfg.time_steps, cfg.batch_size);
         if acc > best_acc {
             best_acc = acc;

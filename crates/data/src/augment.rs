@@ -23,7 +23,10 @@ impl Augment {
 
     /// No augmentation.
     pub fn none() -> Self {
-        Augment { pad: 0, flip: false }
+        Augment {
+            pad: 0,
+            flip: false,
+        }
     }
 
     /// Applies the policy to a `[N, C, H, W]` batch in place.
@@ -169,7 +172,8 @@ mod tests {
     #[test]
     fn apply_is_deterministic_per_seed() {
         let make = |seed: u64| {
-            let mut b = Tensor::from_vec((0..96).map(|x| x as f32).collect(), &[2, 3, 4, 4]).unwrap();
+            let mut b =
+                Tensor::from_vec((0..96).map(|x| x as f32).collect(), &[2, 3, 4, 4]).unwrap();
             Augment::standard().apply(&mut b, &mut seeded_rng(seed));
             b
         };

@@ -255,9 +255,7 @@ mod tests {
     use ull_tensor::init::seeded_rng;
 
     fn toy_dataset(n: usize) -> Dataset {
-        let images: Vec<Tensor> = (0..n)
-            .map(|i| Tensor::full(&[3, 2, 2], i as f32))
-            .collect();
+        let images: Vec<Tensor> = (0..n).map(|i| Tensor::full(&[3, 2, 2], i as f32)).collect();
         let labels: Vec<usize> = (0..n).map(|i| i % 3).collect();
         Dataset::new(images, labels).unwrap()
     }
@@ -304,7 +302,11 @@ mod tests {
         let d = toy_dataset(8);
         let collect = |seed: u64| -> Vec<f32> {
             d.epoch_batches(8, &mut seeded_rng(seed))
-                .flat_map(|b| (0..8).map(move |i| b.images.at(&[i, 0, 0, 0])).collect::<Vec<_>>())
+                .flat_map(|b| {
+                    (0..8)
+                        .map(move |i| b.images.at(&[i, 0, 0, 0]))
+                        .collect::<Vec<_>>()
+                })
                 .collect()
         };
         assert_eq!(collect(1), collect(1));

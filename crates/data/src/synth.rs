@@ -128,12 +128,7 @@ fn sample_prototype(rng: &mut StdRng) -> ClassPrototype {
 }
 
 /// Renders one sample of `proto` into a `[3, s, s]` tensor.
-fn render(
-    proto: &ClassPrototype,
-    s: usize,
-    cfg: &SynthCifarConfig,
-    rng: &mut StdRng,
-) -> Tensor {
+fn render(proto: &ClassPrototype, s: usize, cfg: &SynthCifarConfig, rng: &mut StdRng) -> Tensor {
     let (dx, dy) = if cfg.jitter > 0 {
         let j = cfg.jitter as f32;
         (rng.gen_range(-j..=j), rng.gen_range(-j..=j))
@@ -198,7 +193,9 @@ pub fn generate(cfg: &SynthCifarConfig) -> (Dataset, Dataset) {
     assert!(cfg.classes > 0, "need at least one class");
     assert!(cfg.image_size > 0, "image size must be positive");
     let mut proto_rng = seeded_rng(cfg.seed);
-    let protos: Vec<ClassPrototype> = (0..cfg.classes).map(|_| sample_prototype(&mut proto_rng)).collect();
+    let protos: Vec<ClassPrototype> = (0..cfg.classes)
+        .map(|_| sample_prototype(&mut proto_rng))
+        .collect();
 
     let make_split = |count: usize, stream: u64| -> Dataset {
         let mut rng = seeded_rng(cfg.seed.wrapping_add(stream));

@@ -14,6 +14,10 @@ pub struct GradCheckReport {
     pub max_rel_error: f32,
     /// Largest absolute error found across checked coordinates.
     pub max_abs_error: f32,
+    /// Largest per-coordinate `min(rel, abs)` error. A coordinate is only
+    /// genuinely wrong when *both* its relative and absolute errors are
+    /// large: near-zero gradients inflate rel, large gradients inflate abs.
+    pub max_pointwise_error: f32,
     /// Index of the worst coordinate.
     pub worst_index: usize,
     /// Number of coordinates checked.
@@ -21,10 +25,15 @@ pub struct GradCheckReport {
 }
 
 impl GradCheckReport {
-    /// `true` if the worst relative error is below `tol` (with an absolute
-    /// floor of `tol` for near-zero gradients).
+    /// `true` if every checked coordinate has either a relative or an
+    /// absolute error below `tol`.
+    ///
+    /// The criterion is per-coordinate: taking the OR of the *global*
+    /// maxima instead would couple unrelated coordinates (one with a
+    /// harmless large-rel/small-abs error and another with a harmless
+    /// small-rel/large-abs error would jointly fail).
     pub fn passes(&self, tol: f32) -> bool {
-        self.max_rel_error < tol || self.max_abs_error < tol
+        self.max_pointwise_error < tol
     }
 }
 
@@ -52,6 +61,7 @@ pub fn check_gradient(
     assert!(stride > 0, "stride must be positive");
     let mut max_rel = 0.0f32;
     let mut max_abs = 0.0f32;
+    let mut max_pointwise = 0.0f32;
     let mut worst = 0usize;
     let mut checked = 0usize;
     for i in (0..x.len()).step_by(stride) {
@@ -63,16 +73,18 @@ pub fn check_gradient(
         let an = analytic.data()[i];
         let abs = (fd - an).abs();
         let rel = abs / fd.abs().max(an.abs()).max(1e-4);
-        if rel > max_rel {
-            max_rel = rel;
+        if rel.min(abs) > max_pointwise {
+            max_pointwise = rel.min(abs);
             worst = i;
         }
+        max_rel = max_rel.max(rel);
         max_abs = max_abs.max(abs);
         checked += 1;
     }
     GradCheckReport {
         max_rel_error: max_rel,
         max_abs_error: max_abs,
+        max_pointwise_error: max_pointwise,
         worst_index: worst,
         checked,
     }
@@ -145,11 +157,14 @@ mod tests {
         g.backward(loss);
         let analytic = g.grad(x).clone();
 
-        let rep = check_gradient(&mut run, &x0, &analytic, 1e-2, 1);
+        // eps must stay well below the distance of any preactivation to the
+        // clip kinks at 0 and mu, or the probe steps across them and the
+        // central difference measures the wrong one-sided slope.
+        let rep = check_gradient(&mut run, &x0, &analytic, 1e-3, 1);
         assert!(
             rep.passes(5e-2),
-            "worst rel {} at {}",
-            rep.max_rel_error,
+            "worst pointwise {} at {}",
+            rep.max_pointwise_error,
             rep.worst_index
         );
     }

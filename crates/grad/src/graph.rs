@@ -169,7 +169,15 @@ impl Graph {
             bias.map(|b| &self.nodes[b.0].value),
             geo,
         );
-        self.push(v, Op::Conv2d { input, weight, bias, geo })
+        self.push(
+            v,
+            Op::Conv2d {
+                input,
+                weight,
+                bias,
+                geo,
+            },
+        )
     }
 
     /// Max pooling node with window/stride `k`.
@@ -298,7 +306,9 @@ impl Graph {
                     self.nodes[b.0].grad.add_assign(&db);
                 }
                 &Op::Relu(a) => {
-                    let mask = self.nodes[a.0].value.map(|x| if x > 0.0 { 1.0 } else { 0.0 });
+                    let mask = self.nodes[a.0]
+                        .value
+                        .map(|x| if x > 0.0 { 1.0 } else { 0.0 });
                     let da = g.mul(&mask);
                     self.nodes[a.0].grad.add_assign(&da);
                 }
@@ -510,7 +520,8 @@ mod tests {
     #[test]
     fn avgpool_gradient_spreads_uniformly() {
         let mut g = Graph::new();
-        let x = g.input(Tensor::from_vec((0..16).map(|v| v as f32).collect(), &[1, 1, 4, 4]).unwrap());
+        let x =
+            g.input(Tensor::from_vec((0..16).map(|v| v as f32).collect(), &[1, 1, 4, 4]).unwrap());
         let p = g.avgpool2d(x, 2);
         let s = g.sum(p);
         g.backward(s);

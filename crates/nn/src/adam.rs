@@ -87,6 +87,7 @@ impl Adam {
         let bc1 = 1.0 - cfg.beta1.powf(t);
         let bc2 = 1.0 - cfg.beta2.powf(t);
         net.visit_params_mut(|p| adam_update(p, lr, cfg, bc1, bc2));
+        net.clamp_thresholds(crate::optim::MU_FLOOR);
     }
 }
 
@@ -154,7 +155,11 @@ mod tests {
         });
         adam.step(&mut net, 1.0);
         net.visit_params(|p| {
-            assert!((p.value.data()[0] + 0.1).abs() < 1e-3, "{}", p.value.data()[0]);
+            assert!(
+                (p.value.data()[0] + 0.1).abs() < 1e-3,
+                "{}",
+                p.value.data()[0]
+            );
         });
         assert_eq!(adam.steps_taken(), 1);
     }
@@ -238,7 +243,11 @@ mod tests {
             net.zero_grad();
         }
         net.visit_params(|p| {
-            assert!((p.value.data()[0] - 2.0).abs() < 0.05, "{}", p.value.data()[0]);
+            assert!(
+                (p.value.data()[0] - 2.0).abs() < 0.05,
+                "{}",
+                p.value.data()[0]
+            );
         });
     }
 

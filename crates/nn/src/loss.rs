@@ -75,8 +75,13 @@ mod tests {
             lp.data_mut()[i] += eps;
             let mut lm = logits.clone();
             lm.data_mut()[i] -= eps;
-            let fd = (cross_entropy_loss(&lp, &labels) - cross_entropy_loss(&lm, &labels)) / (2.0 * eps);
-            assert!((fd - g.data()[i]).abs() < 1e-3, "i={i}: {fd} vs {}", g.data()[i]);
+            let fd =
+                (cross_entropy_loss(&lp, &labels) - cross_entropy_loss(&lm, &labels)) / (2.0 * eps);
+            assert!(
+                (fd - g.data()[i]).abs() < 1e-3,
+                "i={i}: {fd} vs {}",
+                g.data()[i]
+            );
         }
     }
 

@@ -144,7 +144,13 @@ pub fn resnet_micro(classes: usize, image_size: usize, width: f32, seed: u64) ->
     resnet(classes, image_size, width, seed, 1)
 }
 
-fn resnet(classes: usize, image_size: usize, width: f32, seed: u64, blocks_per_stage: usize) -> Network {
+fn resnet(
+    classes: usize,
+    image_size: usize,
+    width: f32,
+    seed: u64,
+    blocks_per_stage: usize,
+) -> Network {
     let mut b = NetworkBuilder::new(3, image_size, seed);
     let stem = scaled(16, width);
     b.conv2d(stem, 3, 1, 1);

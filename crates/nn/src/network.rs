@@ -194,6 +194,25 @@ impl Network {
             .collect()
     }
 
+    /// Clamps every trainable threshold μ to at least `floor`.
+    ///
+    /// The threshold ReLU `clip(x, 0, μ)` is only well-defined for μ ≥ 0
+    /// (and the paper's μ is positive by construction), but the optimizers
+    /// update μ like any other scalar and a large gradient step can drive
+    /// it negative — after which the forward pass panics on an inverted
+    /// clamp range. Both [`crate::Sgd`] and [`crate::Adam`] call this after
+    /// every step, mirroring the v_th/leak clamps on the SNN side.
+    pub fn clamp_thresholds(&mut self, floor: f32) {
+        for node in &mut self.nodes {
+            if let NodeOp::ThresholdRelu { mu } = &mut node.op {
+                let v = mu.value.data_mut();
+                for x in v.iter_mut() {
+                    *x = x.max(floor);
+                }
+            }
+        }
+    }
+
     /// The μ value of a threshold node.
     ///
     /// # Panics
@@ -286,9 +305,7 @@ impl Network {
                 }
                 (y, Aux::None)
             }
-            NodeOp::ThresholdRelu { mu } => {
-                (a(0).clip(0.0, mu.scalar_value()), Aux::None)
-            }
+            NodeOp::ThresholdRelu { mu } => (a(0).clip(0.0, mu.scalar_value()), Aux::None),
             NodeOp::Relu => (a(0).relu(), Aux::None),
             NodeOp::MaxPool2d { k } => {
                 let p = maxpool2d(a(0), *k);
@@ -394,7 +411,10 @@ impl Network {
                         _ => panic!("tape entry {i} missing maxpool argmax"),
                     };
                     let shape = tape[inputs[0]].activation.shape().to_vec();
-                    accumulate(&mut grads[inputs[0]], maxpool2d_backward(&g, argmax, &shape));
+                    accumulate(
+                        &mut grads[inputs[0]],
+                        maxpool2d_backward(&g, argmax, &shape),
+                    );
                 }
                 NodeOp::AvgPool2d { k } => {
                     let k = *k;
@@ -664,7 +684,12 @@ impl NetworkBuilder {
     /// Adds a residual sum of nodes `a` and `b`; the cursor moves to it.
     /// Caller is responsible for `a` and `b` having equal shapes and for
     /// restoring the correct spatial bookkeeping via `spatial_after_add`.
-    pub fn add(&mut self, a: NodeId, b: NodeId, spatial_after_add: (usize, usize, usize)) -> NodeId {
+    pub fn add(
+        &mut self,
+        a: NodeId,
+        b: NodeId,
+        spatial_after_add: (usize, usize, usize),
+    ) -> NodeId {
         let id = self.push(NodeOp::Add, vec![a, b]);
         self.spatial = Some(spatial_after_add);
         id
@@ -742,7 +767,7 @@ mod tests {
         // Train: the dropout mask zeroes some inputs.
         let tape = net.forward_train(&x, &mut seeded_rng(1));
         let dropped = &tape[2].activation;
-        assert!(dropped.data().iter().any(|&v| v == 0.0));
+        assert!(dropped.data().contains(&0.0));
         assert!(dropped.data().iter().any(|&v| (v - 2.0).abs() < 1e-6));
     }
 

@@ -76,6 +76,12 @@ impl LrSchedule {
     }
 }
 
+/// Positive floor kept under every trainable threshold μ after an
+/// optimizer step (same value as the SNN-side v_th clamp). Keeps the
+/// threshold ReLU's `clip(x, 0, μ)` range valid when a gradient step
+/// would otherwise drive μ negative.
+pub const MU_FLOOR: f32 = 0.01;
+
 /// Plain SGD with momentum; operates on any [`Network`]'s parameters.
 #[derive(Debug, Clone, Copy)]
 pub struct Sgd {
@@ -111,6 +117,7 @@ impl Sgd {
             clip_network_grads(net, max);
         }
         net.visit_params_mut(|p| update_param(p, lr, cfg));
+        net.clamp_thresholds(MU_FLOOR);
     }
 }
 
@@ -203,7 +210,11 @@ mod tests {
         sgd.step(&mut net, 1.0);
         // v=1.5, w=-2.5.
         net.visit_params(|p| {
-            assert!((p.value.data()[0] + 2.5).abs() < 1e-6, "{}", p.value.data()[0]);
+            assert!(
+                (p.value.data()[0] + 2.5).abs() < 1e-6,
+                "{}",
+                p.value.data()[0]
+            );
         });
     }
 
@@ -269,6 +280,37 @@ mod tests {
         .with_clip(1.0);
         sgd.step(&mut net, 1.0);
         net.visit_params(|p| assert!(p.value.data()[0].abs() <= 1.0 + 1e-5));
+    }
+
+    #[test]
+    fn threshold_mu_stays_positive_under_adversarial_gradient() {
+        // Regression: a large gradient step used to drive the trainable
+        // threshold μ negative, after which the forward pass panicked on
+        // `clip(0, μ)` with an inverted range. The optimizer now clamps
+        // μ to MU_FLOOR after every step.
+        let mut b = NetworkBuilder::new(1, 2, 0);
+        b.threshold_relu(1.0);
+        b.flatten();
+        b.linear(2);
+        let mut net = b.build();
+        net.visit_params_mut(|p| {
+            if p.value.len() == 1 {
+                p.grad.fill(1000.0); // pushes the scalar μ hard negative
+            }
+        });
+        let sgd = Sgd::new(SgdConfig {
+            lr: 1.0,
+            momentum: 0.0,
+            weight_decay: 0.0,
+        });
+        sgd.step(&mut net, 1.0);
+        for id in net.threshold_nodes() {
+            assert!(net.threshold_mu(id) >= MU_FLOOR);
+        }
+        // Forward must not panic after the adversarial step.
+        let x = Tensor::from_vec(vec![0.5, -0.5, 0.25, 1.5], &[1, 1, 2, 2]).unwrap();
+        let out = net.forward_eval(&x);
+        assert!(out.data().iter().all(|v| v.is_finite()));
     }
 
     #[test]

@@ -130,11 +130,8 @@ mod tests {
     #[test]
     fn poisson_rate_tracks_intensity() {
         // Brightest pixel should fire at ~max_rate, darkest at ~0.
-        let x = Tensor::from_vec(
-            (0..32).map(|i| i as f32 / 31.0).collect(),
-            &[1, 2, 4, 4],
-        )
-        .unwrap();
+        let x =
+            Tensor::from_vec((0..32).map(|i| i as f32 / 31.0).collect(), &[1, 2, 4, 4]).unwrap();
         let enc = InputEncoding::PoissonRate { max_rate: 1.0 };
         let mut rng = seeded_rng(5);
         let trials = 400;
@@ -145,8 +142,14 @@ mod tests {
             bright += (xt.data()[31] == 1.0) as usize;
             dark += (xt.data()[0] == 1.0) as usize;
         }
-        assert!((bright as f32) / (trials as f32) > 0.95, "bright rate {bright}/{trials}");
-        assert!((dark as f32) / (trials as f32) < 0.05, "dark rate {dark}/{trials}");
+        assert!(
+            (bright as f32) / (trials as f32) > 0.95,
+            "bright rate {bright}/{trials}"
+        );
+        assert!(
+            (dark as f32) / (trials as f32) < 0.05,
+            "dark rate {dark}/{trials}"
+        );
     }
 
     #[test]
@@ -156,8 +159,12 @@ mod tests {
         let snn = tiny_snn();
         let x = normal(&[1, 2, 4, 4], 0.5, 1.0, &mut seeded_rng(6));
         let enc = InputEncoding::PoissonRate { max_rate: 0.9 };
-        let a = snn.forward_with_encoding(&x, 2, enc, &mut seeded_rng(7)).logits;
-        let b = snn.forward_with_encoding(&x, 2, enc, &mut seeded_rng(8)).logits;
+        let a = snn
+            .forward_with_encoding(&x, 2, enc, &mut seeded_rng(7))
+            .logits;
+        let b = snn
+            .forward_with_encoding(&x, 2, enc, &mut seeded_rng(8))
+            .logits;
         assert_ne!(a, b, "two rate-coded runs coincided unexpectedly");
         let d1 = snn.forward(&x, 2).logits;
         let d2 = snn.forward(&x, 2).logits;

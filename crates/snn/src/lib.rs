@@ -47,7 +47,11 @@ mod stats;
 mod train;
 
 pub use encoding::InputEncoding;
+pub use network::{
+    SnnError, SnnNetwork, SnnNode, SnnOp, SnnOutput, SnnTape, SpikeLayer, SpikeSpec,
+};
 pub use profile::{memory_profile, MemoryProfile};
-pub use network::{SnnError, SnnNetwork, SnnNode, SnnOp, SnnOutput, SnnTape, SpikeLayer, SpikeSpec};
 pub use stats::{ActivityReport, SpikeStats};
-pub use train::{clip_snn_grads, evaluate_snn, train_snn_epoch, SnnEpochStats, SnnSgd, SnnTrainConfig};
+pub use train::{
+    clip_snn_grads, evaluate_snn, train_snn_epoch, SnnEpochStats, SnnSgd, SnnTrainConfig,
+};

@@ -9,6 +9,7 @@ use rand::Rng;
 use serde::{Deserialize, Serialize};
 use ull_nn::{Network, NodeId, NodeOp, Param};
 use ull_tensor::conv::{conv2d, ConvGeometry};
+use ull_tensor::parallel;
 use ull_tensor::pool::{avgpool2d, maxpool2d};
 use ull_tensor::{matmul_transpose_b, Tensor};
 
@@ -405,11 +406,46 @@ impl SnnNetwork {
     /// The output node's activation is averaged over steps to form logits,
     /// and spiking statistics are recorded per node.
     ///
+    /// The batch is simulated in contiguous chunks distributed over the
+    /// [`ull_tensor::parallel`] pool (`ULL_THREADS`). Every sample's
+    /// temporal dynamics are independent of the rest of the batch, so
+    /// chunked simulation followed by in-order concatenation is
+    /// bit-identical to the serial full-batch run for any thread count.
+    ///
     /// # Panics
     ///
     /// Panics if `t_steps == 0` or shapes mismatch inside the graph.
     pub fn forward(&self, x: &Tensor, t_steps: usize) -> SnnOutput {
         assert!(t_steps > 0, "need at least one time step");
+        let batch = x.shape()[0];
+        let threads = parallel::num_threads();
+        if threads <= 1 || batch < 2 {
+            return self.forward_chunk(x, t_steps);
+        }
+        let chunk = batch.div_ceil(threads);
+        let n_chunks = batch.div_ceil(chunk);
+        let parts = parallel::par_map(n_chunks, |ci| {
+            let lo = ci * chunk;
+            let hi = ((ci + 1) * chunk).min(batch);
+            self.forward_chunk(&x.slice_batch(lo, hi), t_steps)
+        });
+        // Merge in chunk (= batch) order: logit rows concatenate back into
+        // batch order and the integer spike counters sum exactly.
+        let mut stats = SpikeStats::new(self.nodes.len(), 0, t_steps);
+        let mut logit_parts = Vec::with_capacity(parts.len());
+        for p in parts {
+            stats.merge(&p.stats);
+            logit_parts.push(p.logits);
+        }
+        SnnOutput {
+            logits: Tensor::concat_batch(&logit_parts),
+            stats,
+        }
+    }
+
+    /// Serial simulation of one contiguous batch chunk — the single-thread
+    /// body [`SnnNetwork::forward`] distributes over the pool.
+    fn forward_chunk(&self, x: &Tensor, t_steps: usize) -> SnnOutput {
         let batch = x.shape()[0];
         let mut stats = SpikeStats::new(self.nodes.len(), batch, t_steps);
         let mut membranes: Vec<Option<Tensor>> = vec![None; self.nodes.len()];
@@ -430,7 +466,11 @@ impl SnnNetwork {
     /// the per-neuron *average input current* and *average output value*
     /// across time steps — the empirical `f_S(s)` and `s'` of the paper's
     /// error analysis (Eq. 6).
-    pub fn forward_rates(&self, x: &Tensor, t_steps: usize) -> (SnnOutput, Vec<(NodeId, Tensor, Tensor)>) {
+    pub fn forward_rates(
+        &self,
+        x: &Tensor,
+        t_steps: usize,
+    ) -> (SnnOutput, Vec<(NodeId, Tensor, Tensor)>) {
         assert!(t_steps > 0, "need at least one time step");
         let batch = x.shape()[0];
         let mut stats = SpikeStats::new(self.nodes.len(), batch, t_steps);
@@ -685,7 +725,12 @@ impl SnnNetwork {
             let mut frontier = vec![id];
             let mut targets: Vec<NodeId> = Vec::new();
             while let Some(n) = frontier.pop() {
-                if n == self.output && !matches!(self.nodes[n].op, SnnOp::Conv2d { .. } | SnnOp::Linear { .. }) {
+                if n == self.output
+                    && !matches!(
+                        self.nodes[n].op,
+                        SnnOp::Conv2d { .. } | SnnOp::Linear { .. }
+                    )
+                {
                     return Err(SnnError::FoldUnsupported {
                         node: n,
                         reason: "spike output reaches the network output unweighted",
@@ -776,7 +821,13 @@ mod tests {
     fn spec_count_mismatch_is_an_error() {
         let dnn = tiny_dnn(2);
         let err = SnnNetwork::from_network(&dnn, &[]).unwrap_err();
-        assert!(matches!(err, SnnError::SpecCountMismatch { expected: 1, actual: 0 }));
+        assert!(matches!(
+            err,
+            SnnError::SpecCountMismatch {
+                expected: 1,
+                actual: 0
+            }
+        ));
     }
 
     #[test]
@@ -799,6 +850,20 @@ mod tests {
         let o2 = snn.forward(&x, 3);
         assert_eq!(o1.logits.shape(), &[2, 4]);
         assert_eq!(o1.logits, o2.logits);
+    }
+
+    #[test]
+    fn batch_parallel_forward_matches_serial() {
+        let _guard = parallel::override_lock();
+        let snn = tiny_snn(50);
+        let x = normal(&[5, 2, 4, 4], 0.0, 1.0, &mut seeded_rng(51));
+        parallel::set_threads(1);
+        let serial = snn.forward(&x, 3);
+        parallel::set_threads(4);
+        let par = snn.forward(&x, 3);
+        parallel::set_threads(0);
+        assert_eq!(serial.logits, par.logits);
+        assert_eq!(serial.stats, par.stats);
     }
 
     #[test]
@@ -1001,8 +1066,14 @@ mod tests {
         let trace_s = shifted.forward_trace(&x, 3);
         // Plain: u = .4, .8, 1.2 -> first spike at step 2 (0-based).
         // Shifted: u = .9, 1.3 (spike, reset .3), .7 -> first spike at 1.
-        assert_eq!(trace_p.iter().map(|s| s[node]).collect::<Vec<_>>(), vec![0, 0, 1]);
-        assert_eq!(trace_s.iter().map(|s| s[node]).collect::<Vec<_>>(), vec![0, 1, 0]);
+        assert_eq!(
+            trace_p.iter().map(|s| s[node]).collect::<Vec<_>>(),
+            vec![0, 0, 1]
+        );
+        assert_eq!(
+            trace_s.iter().map(|s| s[node]).collect::<Vec<_>>(),
+            vec![0, 1, 0]
+        );
     }
 
     #[test]

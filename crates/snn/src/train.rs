@@ -46,7 +46,9 @@ impl SnnNetwork {
                 let inputs = self.nodes()[i].inputs.clone();
                 let g_spike_out = g_node[i].take();
                 let has_state = g_state[i].is_some();
-                if g_spike_out.is_none() && !(has_state && matches!(self.nodes()[i].op, SnnOp::Spike(_))) {
+                if g_spike_out.is_none()
+                    && !(has_state && matches!(self.nodes()[i].op, SnnOp::Spike(_)))
+                {
                     continue;
                 }
                 match &mut self.nodes_mut()[i].op {
@@ -138,7 +140,10 @@ impl SnnNetwork {
                             _ => panic!("tape entry ({t},{i}) missing argmax"),
                         };
                         let shape = tape.acts[t][inputs[0]].shape().to_vec();
-                        accumulate(&mut g_node[inputs[0]], maxpool2d_backward(&g, argmax, &shape));
+                        accumulate(
+                            &mut g_node[inputs[0]],
+                            maxpool2d_backward(&g, argmax, &shape),
+                        );
                     }
                     SnnOp::AvgPool2d { k } => {
                         let k = *k;
@@ -157,7 +162,10 @@ impl SnnNetwork {
                     SnnOp::Flatten => {
                         let g = g_spike_out.expect("non-spike nodes only carry direct grads");
                         let shape = tape.acts[t][inputs[0]].shape().to_vec();
-                        accumulate(&mut g_node[inputs[0]], g.reshape(&shape).expect("flatten backward"));
+                        accumulate(
+                            &mut g_node[inputs[0]],
+                            g.reshape(&shape).expect("flatten backward"),
+                        );
                     }
                     SnnOp::Add => {
                         let g = g_spike_out.expect("non-spike nodes only carry direct grads");
@@ -334,7 +342,12 @@ pub fn train_snn_epoch(
 
 /// Top-1 accuracy (and merged spike statistics) of `net` on `data` with `t`
 /// time steps.
-pub fn evaluate_snn(net: &SnnNetwork, data: &Dataset, t: usize, batch_size: usize) -> (f32, SpikeStats) {
+pub fn evaluate_snn(
+    net: &SnnNetwork,
+    data: &Dataset,
+    t: usize,
+    batch_size: usize,
+) -> (f32, SpikeStats) {
     let mut correct = 0usize;
     let mut seen = 0usize;
     let mut merged: Option<SpikeStats> = None;
@@ -516,7 +529,11 @@ mod tests {
         .with_clip(1.0);
         sgd.step(&mut snn, 1.0);
         snn.visit_params(|p| {
-            assert!(p.value.data().iter().all(|v| v.is_finite() && v.abs() < 10.0));
+            assert!(p
+                .value
+                .data()
+                .iter()
+                .all(|v| v.is_finite() && v.abs() < 10.0));
         });
     }
 

@@ -13,7 +13,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use crate::{matmul, matmul_transpose_a, matmul_transpose_b, Tensor};
+use crate::{matmul, matmul_transpose_a, matmul_transpose_b, parallel, Tensor};
 
 /// Geometry of a 2-d convolution (square stride/padding, arbitrary kernel).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -56,7 +56,10 @@ impl ConvGeometry {
             ph,
             pw
         );
-        ((ph - self.kh) / self.stride + 1, (pw - self.kw) / self.stride + 1)
+        (
+            (ph - self.kh) / self.stride + 1,
+            (pw - self.kw) / self.stride + 1,
+        )
     }
 }
 
@@ -75,10 +78,13 @@ pub fn im2col(input: &Tensor, geo: ConvGeometry) -> Tensor {
     let mut cols = vec![0.0f32; n * oh * ow * ckk];
     let data = input.data();
     let pad = geo.padding as isize;
-    for b in 0..n {
+    // One batch image per work item: image `b` owns the contiguous column
+    // rows `[b·OH·OW, (b+1)·OH·OW)`, and every written value depends only
+    // on the input, so the result is identical for any thread count.
+    parallel::par_chunks_mut(&mut cols, oh * ow * ckk, |b, image_cols| {
         for oy in 0..oh {
             for ox in 0..ow {
-                let row = ((b * oh + oy) * ow + ox) * ckk;
+                let row = (oy * ow + ox) * ckk;
                 let iy0 = (oy * geo.stride) as isize - pad;
                 let ix0 = (ox * geo.stride) as isize - pad;
                 for ch in 0..c {
@@ -95,13 +101,13 @@ pub fn im2col(input: &Tensor, geo: ConvGeometry) -> Tensor {
                             if ix < 0 || ix >= w as isize {
                                 continue;
                             }
-                            cols[dst + kx] = data[src_row + ix as usize];
+                            image_cols[dst + kx] = data[src_row + ix as usize];
                         }
                     }
                 }
             }
         }
-    }
+    });
     Tensor::from_vec(cols, &[n * oh * ow, ckk]).expect("im2col length by construction")
 }
 
@@ -125,14 +131,18 @@ pub fn col2im(cols: &Tensor, n: usize, c: usize, h: usize, w: usize, geo: ConvGe
     let mut out = vec![0.0f32; n * c * h * w];
     let data = cols.data();
     let pad = geo.padding as isize;
-    for b in 0..n {
+    // One batch image per work item: image `b` only accumulates from its
+    // own column rows, and the oy/ox/ky/kx scatter order within an image
+    // matches the serial loop, so overlapping-field sums are bit-identical
+    // for any thread count.
+    parallel::par_chunks_mut(&mut out, c * h * w, |b, image_out| {
         for oy in 0..oh {
             for ox in 0..ow {
                 let row = ((b * oh + oy) * ow + ox) * ckk;
                 let iy0 = (oy * geo.stride) as isize - pad;
                 let ix0 = (ox * geo.stride) as isize - pad;
                 for ch in 0..c {
-                    let plane = (b * c + ch) * h * w;
+                    let plane = ch * h * w;
                     for ky in 0..geo.kh {
                         let iy = iy0 + ky as isize;
                         if iy < 0 || iy >= h as isize {
@@ -145,13 +155,13 @@ pub fn col2im(cols: &Tensor, n: usize, c: usize, h: usize, w: usize, geo: ConvGe
                             if ix < 0 || ix >= w as isize {
                                 continue;
                             }
-                            out[dst_row + ix as usize] += data[src + kx];
+                            image_out[dst_row + ix as usize] += data[src + kx];
                         }
                     }
                 }
             }
         }
-    }
+    });
     Tensor::from_vec(out, &[n, c, h, w]).expect("col2im length by construction")
 }
 
@@ -165,8 +175,15 @@ pub fn col2im(cols: &Tensor, n: usize, c: usize, h: usize, w: usize, geo: ConvGe
 pub fn conv2d(input: &Tensor, weight: &Tensor, bias: Option<&Tensor>, geo: ConvGeometry) -> Tensor {
     let [n, c, h, w] = dims4(input, "conv2d input");
     let [f, wc, kh, kw] = dims4(weight, "conv2d weight");
-    assert_eq!(c, wc, "conv2d: input has {c} channels but weight expects {wc}");
-    assert_eq!((kh, kw), (geo.kh, geo.kw), "conv2d: weight kernel disagrees with geometry");
+    assert_eq!(
+        c, wc,
+        "conv2d: input has {c} channels but weight expects {wc}"
+    );
+    assert_eq!(
+        (kh, kw),
+        (geo.kh, geo.kw),
+        "conv2d: weight kernel disagrees with geometry"
+    );
     let (oh, ow) = geo.output_hw(h, w);
     let cols = im2col(input, geo);
     let w2 = weight
@@ -271,7 +288,12 @@ pub fn rows_to_nchw(rows: &Tensor, n: usize, f: usize, oh: usize, ow: usize) -> 
 }
 
 fn dims4(t: &Tensor, what: &str) -> [usize; 4] {
-    assert_eq!(t.rank(), 4, "{what} must be rank 4, got shape {:?}", t.shape());
+    assert_eq!(
+        t.rank(),
+        4,
+        "{what} must be rank 4, got shape {:?}",
+        t.shape()
+    );
     [t.shape()[0], t.shape()[1], t.shape()[2], t.shape()[3]]
 }
 
@@ -285,8 +307,18 @@ mod tests {
     }
 
     /// Direct (non-lowered) convolution for cross-checking.
-    fn naive_conv(input: &Tensor, weight: &Tensor, bias: Option<&Tensor>, geo: ConvGeometry) -> Tensor {
-        let [n, c, h, w] = [input.shape()[0], input.shape()[1], input.shape()[2], input.shape()[3]];
+    fn naive_conv(
+        input: &Tensor,
+        weight: &Tensor,
+        bias: Option<&Tensor>,
+        geo: ConvGeometry,
+    ) -> Tensor {
+        let [n, c, h, w] = [
+            input.shape()[0],
+            input.shape()[1],
+            input.shape()[2],
+            input.shape()[3],
+        ];
         let f = weight.shape()[0];
         let (oh, ow) = geo.output_hw(h, w);
         let mut out = Tensor::zeros(&[n, f, oh, ow]);
@@ -338,7 +370,11 @@ mod tests {
         let x = seq_tensor(&[2, 3, 5, 5]);
         let w = seq_tensor(&[4, 3, 3, 3]);
         let geo = ConvGeometry::square(3, 1, 0);
-        assert_close(&conv2d(&x, &w, None, geo), &naive_conv(&x, &w, None, geo), 1e-4);
+        assert_close(
+            &conv2d(&x, &w, None, geo),
+            &naive_conv(&x, &w, None, geo),
+            1e-4,
+        );
     }
 
     #[test]
@@ -395,7 +431,11 @@ mod tests {
             let mut xm = x.clone();
             xm.data_mut()[i] -= eps;
             let fd = (loss(&xp, &w, &b) - loss(&xm, &w, &b)) / (2.0 * eps);
-            assert!((fd - dx.data()[i]).abs() < 2e-2, "dx[{i}]: fd {fd} vs {}", dx.data()[i]);
+            assert!(
+                (fd - dx.data()[i]).abs() < 2e-2,
+                "dx[{i}]: fd {fd} vs {}",
+                dx.data()[i]
+            );
         }
         for &i in &[0usize, 7, 20, 35] {
             let mut wp = w.clone();
@@ -403,7 +443,11 @@ mod tests {
             let mut wm = w.clone();
             wm.data_mut()[i] -= eps;
             let fd = (loss(&x, &wp, &b) - loss(&x, &wm, &b)) / (2.0 * eps);
-            assert!((fd - dw.data()[i]).abs() < 2e-2, "dw[{i}]: fd {fd} vs {}", dw.data()[i]);
+            assert!(
+                (fd - dw.data()[i]).abs() < 2e-2,
+                "dw[{i}]: fd {fd} vs {}",
+                dw.data()[i]
+            );
         }
         for i in 0..2 {
             let mut bp = b.clone();
@@ -411,7 +455,11 @@ mod tests {
             let mut bm = b.clone();
             bm.data_mut()[i] -= eps;
             let fd = (loss(&x, &w, &bp) - loss(&x, &w, &bm)) / (2.0 * eps);
-            assert!((fd - db.data()[i]).abs() < 2e-2, "db[{i}]: fd {fd} vs {}", db.data()[i]);
+            assert!(
+                (fd - db.data()[i]).abs() < 2e-2,
+                "db[{i}]: fd {fd} vs {}",
+                db.data()[i]
+            );
         }
     }
 

@@ -102,7 +102,11 @@ mod tests {
         let w = kaiming_normal(&[64, 32, 3, 3], &mut seeded_rng(3));
         let m = moments(w.data());
         let expected = (2.0f32 / (32.0 * 9.0)).sqrt();
-        assert!((m.std - expected).abs() < 0.01, "std {} vs {expected}", m.std);
+        assert!(
+            (m.std - expected).abs() < 0.01,
+            "std {} vs {expected}",
+            m.std
+        );
     }
 
     #[test]

@@ -14,9 +14,13 @@
 //!   histograms of pre-activation values ([`stats`])
 //! * seeded weight initialisation ([`init`])
 //!
-//! Everything is deterministic given a seed; there is no threading, no
-//! `unsafe`, and no external BLAS, so results are bit-reproducible across
-//! runs — a property the experiment harness relies on.
+//! Everything is deterministic given a seed; there is no `unsafe` and no
+//! external BLAS, so results are bit-reproducible across runs — a property
+//! the experiment harness relies on. The hot kernels are data-parallel
+//! over a dependency-free `std::thread` pool ([`parallel`], tuned with the
+//! `ULL_THREADS` environment variable), but partitioning preserves each
+//! output element's serial accumulation order, so results are also
+//! bit-identical across thread counts.
 //!
 //! # Example
 //!
@@ -40,6 +44,7 @@ mod tensor;
 pub mod conv;
 pub mod init;
 pub mod matmul;
+pub mod parallel;
 pub mod pool;
 pub mod stats;
 

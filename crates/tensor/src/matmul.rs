@@ -10,8 +10,22 @@
 //! All kernels use the cache-friendly `i-k-j` loop order over contiguous
 //! rows, which is the fastest portable ordering for row-major data without
 //! explicit blocking or SIMD intrinsics.
+//!
+//! Output rows are independent, so each kernel distributes contiguous
+//! row blocks over [`crate::parallel`]. Every output element is
+//! accumulated in the same order as the serial loop regardless of the
+//! thread count, so results are bit-identical for any `ULL_THREADS`.
 
+use crate::parallel;
 use crate::Tensor;
+
+/// Rows per parallel work item: ~4 blocks per worker balances load without
+/// making the chunk queue hot. Block size never affects results — each
+/// output row is accumulated independently in serial order.
+fn row_block(rows: usize) -> usize {
+    rows.div_ceil(parallel::num_threads().saturating_mul(4).max(1))
+        .max(1)
+}
 
 /// `C = A · B` for rank-2 tensors `A: [m, k]`, `B: [k, n]`.
 ///
@@ -35,19 +49,23 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
     let mut out = vec![0.0f32; m * n];
     let ad = a.data();
     let bd = b.data();
-    for i in 0..m {
-        let arow = &ad[i * k..(i + 1) * k];
-        let orow = &mut out[i * n..(i + 1) * n];
-        for (p, &av) in arow.iter().enumerate() {
-            if av == 0.0 {
-                continue; // spike matrices are sparse; skipping zeros is the AC model
-            }
-            let brow = &bd[p * n..(p + 1) * n];
-            for (o, &bv) in orow.iter_mut().zip(brow) {
-                *o += av * bv;
+    let block = row_block(m);
+    parallel::par_chunks_mut(&mut out, block * n, |ci, chunk| {
+        let i0 = ci * block;
+        for (ri, orow) in chunk.chunks_mut(n).enumerate() {
+            let i = i0 + ri;
+            let arow = &ad[i * k..(i + 1) * k];
+            for (p, &av) in arow.iter().enumerate() {
+                if av == 0.0 {
+                    continue; // spike matrices are sparse; skipping zeros is the AC model
+                }
+                let brow = &bd[p * n..(p + 1) * n];
+                for (o, &bv) in orow.iter_mut().zip(brow) {
+                    *o += av * bv;
+                }
             }
         }
-    }
+    });
     Tensor::from_vec(out, &[m, n]).expect("matmul output length is m*n by construction")
 }
 
@@ -59,23 +77,35 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
 pub fn matmul_transpose_a(a: &Tensor, b: &Tensor) -> Tensor {
     let (k, m) = dims2(a, "matmul_transpose_a lhs");
     let (k2, n) = dims2(b, "matmul_transpose_a rhs");
-    assert_eq!(k, k2, "matmul_transpose_a: leading dims disagree ({k} vs {k2})");
+    assert_eq!(
+        k, k2,
+        "matmul_transpose_a: leading dims disagree ({k} vs {k2})"
+    );
     let mut out = vec![0.0f32; m * n];
     let ad = a.data();
     let bd = b.data();
-    for p in 0..k {
-        let arow = &ad[p * m..(p + 1) * m];
-        let brow = &bd[p * n..(p + 1) * n];
-        for (i, &av) in arow.iter().enumerate() {
-            if av == 0.0 {
-                continue;
-            }
-            let orow = &mut out[i * n..(i + 1) * n];
-            for (o, &bv) in orow.iter_mut().zip(brow) {
-                *o += av * bv;
+    // Workers own disjoint output-row blocks; the p loop stays outermost
+    // inside each block, so every element accumulates over p in ascending
+    // order exactly as the serial single-block loop did.
+    let block = row_block(m);
+    parallel::par_chunks_mut(&mut out, block * n, |ci, chunk| {
+        let i0 = ci * block;
+        let rows = chunk.len() / n;
+        for p in 0..k {
+            let arow = &ad[p * m..(p + 1) * m];
+            let brow = &bd[p * n..(p + 1) * n];
+            for ri in 0..rows {
+                let av = arow[i0 + ri];
+                if av == 0.0 {
+                    continue;
+                }
+                let orow = &mut chunk[ri * n..(ri + 1) * n];
+                for (o, &bv) in orow.iter_mut().zip(brow) {
+                    *o += av * bv;
+                }
             }
         }
-    }
+    });
     Tensor::from_vec(out, &[m, n]).expect("matmul_transpose_a output length is m*n")
 }
 
@@ -87,27 +117,38 @@ pub fn matmul_transpose_a(a: &Tensor, b: &Tensor) -> Tensor {
 pub fn matmul_transpose_b(a: &Tensor, b: &Tensor) -> Tensor {
     let (m, k) = dims2(a, "matmul_transpose_b lhs");
     let (n, k2) = dims2(b, "matmul_transpose_b rhs");
-    assert_eq!(k, k2, "matmul_transpose_b: trailing dims disagree ({k} vs {k2})");
+    assert_eq!(
+        k, k2,
+        "matmul_transpose_b: trailing dims disagree ({k} vs {k2})"
+    );
     let mut out = vec![0.0f32; m * n];
     let ad = a.data();
     let bd = b.data();
-    for i in 0..m {
-        let arow = &ad[i * k..(i + 1) * k];
-        let orow = &mut out[i * n..(i + 1) * n];
-        for (j, o) in orow.iter_mut().enumerate() {
-            let brow = &bd[j * k..(j + 1) * k];
-            let mut acc = 0.0f32;
-            for (&av, &bv) in arow.iter().zip(brow) {
-                acc += av * bv;
+    let block = row_block(m);
+    parallel::par_chunks_mut(&mut out, block * n, |ci, chunk| {
+        let i0 = ci * block;
+        for (ri, orow) in chunk.chunks_mut(n).enumerate() {
+            let arow = &ad[(i0 + ri) * k..(i0 + ri + 1) * k];
+            for (j, o) in orow.iter_mut().enumerate() {
+                let brow = &bd[j * k..(j + 1) * k];
+                let mut acc = 0.0f32;
+                for (&av, &bv) in arow.iter().zip(brow) {
+                    acc += av * bv;
+                }
+                *o = acc;
             }
-            *o = acc;
         }
-    }
+    });
     Tensor::from_vec(out, &[m, n]).expect("matmul_transpose_b output length is m*n")
 }
 
 fn dims2(t: &Tensor, what: &str) -> (usize, usize) {
-    assert_eq!(t.rank(), 2, "{what} must be rank 2, got shape {:?}", t.shape());
+    assert_eq!(
+        t.rank(),
+        2,
+        "{what} must be rank 2, got shape {:?}",
+        t.shape()
+    );
     (t.shape()[0], t.shape()[1])
 }
 
@@ -137,7 +178,9 @@ mod tests {
         let n: usize = shape.iter().product();
         let data: Vec<f32> = (0..n)
             .map(|_| {
-                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 ((state >> 33) as f32 / (1u64 << 31) as f32) - 1.0
             })
             .collect();
@@ -179,14 +222,22 @@ mod tests {
     fn transpose_a_matches_explicit_transpose() {
         let a = rand_tensor(&[6, 4], 6);
         let b = rand_tensor(&[6, 5], 7);
-        assert_close(&matmul_transpose_a(&a, &b), &matmul(&a.transpose(), &b), 1e-5);
+        assert_close(
+            &matmul_transpose_a(&a, &b),
+            &matmul(&a.transpose(), &b),
+            1e-5,
+        );
     }
 
     #[test]
     fn transpose_b_matches_explicit_transpose() {
         let a = rand_tensor(&[3, 8], 8);
         let b = rand_tensor(&[5, 8], 9);
-        assert_close(&matmul_transpose_b(&a, &b), &matmul(&a, &b.transpose()), 1e-5);
+        assert_close(
+            &matmul_transpose_b(&a, &b),
+            &matmul(&a, &b.transpose()),
+            1e-5,
+        );
     }
 
     #[test]

@@ -90,7 +90,11 @@ impl Tensor {
 
     fn reduce_axis(&self, axis: usize, f: impl Fn(f32, f32) -> f32, init: f32) -> Tensor {
         let shape = self.shape();
-        assert!(axis < shape.len(), "axis {axis} out of range for rank {}", shape.len());
+        assert!(
+            axis < shape.len(),
+            "axis {axis} out of range for rank {}",
+            shape.len()
+        );
         let outer: usize = shape[..axis].iter().product();
         let mid = shape[axis];
         let inner: usize = shape[axis + 1..].iter().product();

@@ -132,7 +132,12 @@ pub fn avgpool2d(input: &Tensor, k: usize) -> Tensor {
 ///
 /// Panics if shapes are inconsistent with an average pool of window `k`.
 pub fn avgpool2d_backward(grad_out: &Tensor, input_shape: &[usize], k: usize) -> Tensor {
-    let [n, c, h, w] = [input_shape[0], input_shape[1], input_shape[2], input_shape[3]];
+    let [n, c, h, w] = [
+        input_shape[0],
+        input_shape[1],
+        input_shape[2],
+        input_shape[3],
+    ];
     let (oh, ow) = (h / k, w / k);
     assert_eq!(
         grad_out.shape(),
@@ -164,7 +169,12 @@ pub fn avgpool2d_backward(grad_out: &Tensor, input_shape: &[usize], k: usize) ->
 }
 
 fn dims4(t: &Tensor) -> [usize; 4] {
-    assert_eq!(t.rank(), 4, "pooling expects rank-4 input, got {:?}", t.shape());
+    assert_eq!(
+        t.rank(),
+        4,
+        "pooling expects rank-4 input, got {:?}",
+        t.shape()
+    );
     [t.shape()[0], t.shape()[1], t.shape()[2], t.shape()[3]]
 }
 
@@ -193,7 +203,9 @@ mod tests {
     fn maxpool_binary_in_binary_out() {
         // The invariant the paper relies on (§IV-A): spikes in ⇒ spikes out.
         let x = Tensor::from_vec(
-            vec![0.0, 1.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0],
+            vec![
+                0.0, 1.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0,
+            ],
             &[1, 1, 4, 4],
         )
         .unwrap();
@@ -213,7 +225,9 @@ mod tests {
     #[test]
     fn maxpool_backward_finite_difference() {
         let x = Tensor::from_vec(
-            (0..16).map(|i| ((i * 7919) % 13) as f32 * 0.3 - 1.0).collect(),
+            (0..16)
+                .map(|i| ((i * 7919) % 13) as f32 * 0.3 - 1.0)
+                .collect(),
             &[1, 1, 4, 4],
         )
         .unwrap();
@@ -226,8 +240,13 @@ mod tests {
             xp.data_mut()[i] += eps;
             let mut xm = x.clone();
             xm.data_mut()[i] -= eps;
-            let fd = (maxpool2d(&xp, 2).output.sum() - maxpool2d(&xm, 2).output.sum()) / (2.0 * eps);
-            assert!((fd - dx.data()[i]).abs() < 1e-2, "i={i}: fd {fd} vs {}", dx.data()[i]);
+            let fd =
+                (maxpool2d(&xp, 2).output.sum() - maxpool2d(&xm, 2).output.sum()) / (2.0 * eps);
+            assert!(
+                (fd - dx.data()[i]).abs() < 1e-2,
+                "i={i}: fd {fd} vs {}",
+                dx.data()[i]
+            );
         }
     }
 

@@ -54,7 +54,10 @@ pub fn moments(values: &[f32]) -> Moments {
 /// Panics if `values` is empty or `q` is outside `[0, 100]`.
 pub fn percentile(values: &[f32], q: f32) -> f32 {
     assert!(!values.is_empty(), "percentile of empty sample");
-    assert!((0.0..=100.0).contains(&q), "percentile q={q} outside [0, 100]");
+    assert!(
+        (0.0..=100.0).contains(&q),
+        "percentile q={q} outside [0, 100]"
+    );
     let mut sorted: Vec<f32> = values.to_vec();
     sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
     percentile_sorted(&sorted, q)
@@ -67,7 +70,10 @@ pub fn percentile(values: &[f32], q: f32) -> f32 {
 /// Panics if `sorted` is empty or `q` is outside `[0, 100]`.
 pub fn percentile_sorted(sorted: &[f32], q: f32) -> f32 {
     assert!(!sorted.is_empty(), "percentile of empty sample");
-    assert!((0.0..=100.0).contains(&q), "percentile q={q} outside [0, 100]");
+    assert!(
+        (0.0..=100.0).contains(&q),
+        "percentile q={q} outside [0, 100]"
+    );
     let rank = q / 100.0 * (sorted.len() - 1) as f32;
     let lo = rank.floor() as usize;
     let hi = rank.ceil() as usize;
@@ -90,7 +96,9 @@ pub fn percentile_table(values: &[f32]) -> Vec<f32> {
     assert!(!values.is_empty(), "percentile table of empty sample");
     let mut sorted: Vec<f32> = values.to_vec();
     sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
-    (0..=100).map(|i| percentile_sorted(&sorted, i as f32)).collect()
+    (0..=100)
+        .map(|i| percentile_sorted(&sorted, i as f32))
+        .collect()
 }
 
 /// A fixed-range histogram used as a density estimate of pre-activations.
@@ -114,7 +122,10 @@ impl Histogram {
     /// Panics if `bins == 0` or `hi <= lo`.
     pub fn new(lo: f32, hi: f32, bins: usize) -> Self {
         assert!(bins > 0, "histogram needs at least one bin");
-        assert!(hi > lo, "histogram range must be non-empty (lo {lo}, hi {hi})");
+        assert!(
+            hi > lo,
+            "histogram range must be non-empty (lo {lo}, hi {hi})"
+        );
         Histogram {
             lo,
             hi,
@@ -133,10 +144,22 @@ impl Histogram {
         (self.hi - self.lo) / self.counts.len() as f32
     }
 
-    /// Accumulates one value; out-of-range values clamp to the edge bins.
-    pub fn record(&mut self, value: f32) {
+    /// Index of the bin that owns `value`.
+    ///
+    /// Bins are half-open `[edge_i, edge_{i+1})` except the last, which is
+    /// closed: `value == hi` (and anything beyond) lands in the final bin,
+    /// mirroring how `value < lo` clamps to bin 0. This keeps every
+    /// recorded sample inside the histogram rather than silently dropping
+    /// the exact upper edge.
+    fn bin_index(&self, value: f32) -> usize {
         let b = ((value - self.lo) / self.bin_width()).floor();
-        let idx = (b.max(0.0) as usize).min(self.counts.len() - 1);
+        (b.max(0.0) as usize).min(self.counts.len() - 1)
+    }
+
+    /// Accumulates one value; out-of-range values clamp to the edge bins
+    /// (see [`Histogram::bin_index`] for the exact edge convention).
+    pub fn record(&mut self, value: f32) {
+        let idx = self.bin_index(value);
         self.counts[idx] += 1;
         self.total += 1;
     }
@@ -170,16 +193,11 @@ impl Histogram {
             return 1.0;
         }
         let pos = (x - self.lo) / self.bin_width();
-        let full = pos.floor() as usize;
+        let full = (pos.floor() as usize).min(self.counts.len() - 1);
         let frac = pos - full as f32;
-        let mut acc: u64 = self.counts[..full].iter().sum();
-        let mut cdf = acc as f32;
-        if full < self.counts.len() {
-            cdf += self.counts[full] as f32 * frac;
-        }
-        acc += 0; // acc retained for clarity of the partial-bin step above
-        let _ = acc;
-        cdf / self.total as f32
+        let whole: u64 = self.counts[..full].iter().sum();
+        let partial = self.counts[full] as f32 * frac;
+        (whole as f32 + partial) / self.total as f32
     }
 
     /// Probability mass in `[a, b)` according to the piecewise-linear CDF.
@@ -287,6 +305,20 @@ mod tests {
     }
 
     #[test]
+    fn record_edge_convention() {
+        // value == hi lands in the last (closed) bin; value < lo clamps to
+        // bin 0; values beyond hi clamp to the last bin. Nothing recorded
+        // is ever dropped.
+        let mut h = Histogram::new(0.0, 1.0, 4);
+        h.record(1.0); // exact upper edge
+        h.record(5.0); // beyond hi
+        h.record(-3.0); // below lo
+        h.record(0.25); // interior: second bin ([0.25, 0.5))
+        assert_eq!(h.counts, vec![1, 1, 0, 2]);
+        assert_eq!(h.total, 4);
+    }
+
+    #[test]
     fn mass_of_interval() {
         let mut h = Histogram::new(0.0, 1.0, 10);
         // All mass in [0.0, 0.1).
@@ -300,7 +332,9 @@ mod tests {
     #[test]
     fn skew_statistic_detects_concentration() {
         // Exponential-ish sample concentrated near zero.
-        let vals: Vec<f32> = (0..1000).map(|i| (-(i as f32) / 100.0).exp() * 3.0).collect();
+        let vals: Vec<f32> = (0..1000)
+            .map(|i| (-(i as f32) / 100.0).exp() * 3.0)
+            .collect();
         let s = mass_below_fraction_of_max(&vals, 1.0 / 3.0);
         assert!(s > 0.85, "expected heavy concentration, got {s}");
         // Uniform sample is not concentrated.

@@ -153,6 +153,56 @@ impl Tensor {
         Ok(())
     }
 
+    /// Copies rows `lo..hi` of the leading (batch) axis into a new tensor
+    /// with the same trailing shape. Row-major layout makes this a single
+    /// contiguous copy, which is what the batch-parallel SNN simulation
+    /// uses to hand each worker its slice of the batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a rank-0 tensor or if `lo >= hi` or `hi` exceeds the
+    /// batch dimension.
+    pub fn slice_batch(&self, lo: usize, hi: usize) -> Self {
+        assert!(self.rank() >= 1, "slice_batch needs at least one axis");
+        let batch = self.shape[0];
+        assert!(
+            lo < hi && hi <= batch,
+            "slice_batch: {lo}..{hi} out of range for batch {batch}"
+        );
+        let stride: usize = self.shape[1..].iter().product();
+        let mut shape = self.shape.clone();
+        shape[0] = hi - lo;
+        Tensor {
+            shape,
+            data: self.data[lo * stride..hi * stride].to_vec(),
+        }
+    }
+
+    /// Concatenates tensors along the leading (batch) axis, in order —
+    /// the inverse of splitting with [`Tensor::slice_batch`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parts` is empty or the trailing shapes disagree.
+    pub fn concat_batch(parts: &[Tensor]) -> Self {
+        assert!(!parts.is_empty(), "concat_batch of no tensors");
+        let tail = &parts[0].shape[1..];
+        let mut batch = 0;
+        let mut data = Vec::with_capacity(parts.iter().map(|p| p.len()).sum());
+        for p in parts {
+            assert_eq!(
+                &p.shape[1..],
+                tail,
+                "concat_batch: trailing shapes disagree"
+            );
+            batch += p.shape[0];
+            data.extend_from_slice(&p.data);
+        }
+        let mut shape = vec![batch];
+        shape.extend_from_slice(tail);
+        Tensor { shape, data }
+    }
+
     /// Element at a multi-dimensional index.
     ///
     /// # Panics
@@ -182,7 +232,10 @@ impl Tensor {
         );
         let mut off = 0;
         for (i, (&ix, &dim)) in idx.iter().zip(&self.shape).enumerate() {
-            assert!(ix < dim, "index {ix} out of bounds for axis {i} (dim {dim})");
+            assert!(
+                ix < dim,
+                "index {ix} out of bounds for axis {i} (dim {dim})"
+            );
             off = off * dim + ix;
         }
         off
@@ -439,8 +492,8 @@ impl Tensor {
         let (rows, cols) = (self.shape[0], self.shape[1]);
         let mut out = vec![0.0; cols];
         for r in 0..rows {
-            for c in 0..cols {
-                out[c] += self.data[r * cols + c];
+            for (o, &v) in out.iter_mut().zip(&self.data[r * cols..(r + 1) * cols]) {
+                *o += v;
             }
         }
         Tensor {
@@ -617,5 +670,32 @@ mod tests {
         let json = serde_json::to_string(&t).unwrap();
         let back: Tensor = serde_json::from_str(&json).unwrap();
         assert_eq!(back, t);
+    }
+
+    #[test]
+    fn slice_then_concat_is_identity() {
+        let t = Tensor::from_vec((0..24).map(|i| i as f32).collect(), &[4, 2, 3]).unwrap();
+        let a = t.slice_batch(0, 1);
+        let b = t.slice_batch(1, 3);
+        let c = t.slice_batch(3, 4);
+        assert_eq!(a.shape(), &[1, 2, 3]);
+        assert_eq!(b.shape(), &[2, 2, 3]);
+        assert_eq!(b.data(), &t.data()[6..18]);
+        assert_eq!(Tensor::concat_batch(&[a, b, c]), t);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn slice_batch_rejects_bad_range() {
+        let t = Tensor::zeros(&[2, 3]);
+        let _ = t.slice_batch(1, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "trailing shapes disagree")]
+    fn concat_batch_rejects_mixed_shapes() {
+        let a = Tensor::zeros(&[1, 3]);
+        let b = Tensor::zeros(&[1, 4]);
+        let _ = Tensor::concat_batch(&[a, b]);
     }
 }

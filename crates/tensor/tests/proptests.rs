@@ -1,10 +1,10 @@
 //! Property-based tests for the tensor kernels.
 
 use proptest::prelude::*;
-use ull_tensor::conv::{conv2d, ConvGeometry};
+use ull_tensor::conv::{col2im, conv2d, im2col, ConvGeometry};
 use ull_tensor::pool::{avgpool2d, maxpool2d};
-use ull_tensor::stats::{moments, percentile, Histogram};
-use ull_tensor::{matmul, matmul_transpose_a, matmul_transpose_b, Tensor};
+use ull_tensor::stats::{moments, percentile, percentile_table, Histogram};
+use ull_tensor::{matmul, matmul_transpose_a, matmul_transpose_b, parallel, Tensor};
 
 fn tensor_strategy(max_len: usize) -> impl Strategy<Value = Vec<f32>> {
     proptest::collection::vec(-10.0f32..10.0, 1..max_len)
@@ -118,6 +118,83 @@ proptest! {
         prop_assert_eq!(h.total as usize, x.len());
         let counted: u64 = h.counts.iter().sum();
         prop_assert_eq!(counted, h.total);
+    }
+
+    #[test]
+    fn percentile_table_is_monotone(x in tensor_strategy(128)) {
+        let table = percentile_table(&x);
+        prop_assert_eq!(table.len(), 101);
+        for w in table.windows(2) {
+            prop_assert!(w[0] <= w[1], "table not monotone: {} > {}", w[0], w[1]);
+        }
+        let min = x.iter().copied().fold(f32::INFINITY, f32::min);
+        let max = x.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        prop_assert_eq!(table[0], min);
+        prop_assert_eq!(table[100], max);
+    }
+
+    #[test]
+    fn histogram_cdf_tracks_empirical_cdf(x in tensor_strategy(128), q in -10.0f32..10.0) {
+        let mut h = Histogram::new(-10.0, 10.0, 16);
+        h.record_all(&x);
+        let empirical = x.iter().filter(|&&v| v < q).count() as f32 / x.len() as f32;
+        // Values in fully-counted bins are exactly below q; only the bin
+        // containing q is linearly interpolated, so the histogram CDF can
+        // deviate from the empirical one by at most that bin's mass.
+        let pos = (q - h.lo) / h.bin_width();
+        let bin = (pos.floor().max(0.0) as usize).min(h.counts.len() - 1);
+        let tol = h.counts[bin] as f32 / h.total as f32 + 1e-4;
+        prop_assert!(
+            (h.cdf(q) - empirical).abs() <= tol,
+            "cdf {} vs empirical {} (tol {})", h.cdf(q), empirical, tol
+        );
+    }
+
+    #[test]
+    fn matmul_kernels_are_thread_count_invariant(
+        data in proptest::collection::vec(-3.0f32..3.0, 64),
+        m in 1usize..6,
+        k in 1usize..6,
+        n in 1usize..6,
+    ) {
+        let a = Tensor::from_vec(data[..m * k].to_vec(), &[m, k]).unwrap();
+        let b = Tensor::from_vec(data[25..25 + k * n].to_vec(), &[k, n]).unwrap();
+        let _guard = parallel::override_lock();
+        parallel::set_threads(1);
+        let base = matmul(&a, &b);
+        let base_ta = matmul_transpose_a(&a.transpose(), &b);
+        let base_tb = matmul_transpose_b(&a, &b.transpose());
+        for threads in [2, 3, 4] {
+            parallel::set_threads(threads);
+            // Exact equality: partitioning must not change float order.
+            prop_assert_eq!(&matmul(&a, &b), &base, "threads {}", threads);
+            prop_assert_eq!(&matmul_transpose_a(&a.transpose(), &b), &base_ta, "threads {}", threads);
+            prop_assert_eq!(&matmul_transpose_b(&a, &b.transpose()), &base_tb, "threads {}", threads);
+        }
+        parallel::set_threads(0);
+    }
+
+    #[test]
+    fn conv_kernels_are_thread_count_invariant(
+        x in proptest::collection::vec(-2.0f32..2.0, 3 * 2 * 6 * 6),
+        w in proptest::collection::vec(-1.0f32..1.0, 3 * 2 * 3 * 3),
+    ) {
+        let geo = ConvGeometry::square(3, 1, 1);
+        let x = Tensor::from_vec(x, &[3, 2, 6, 6]).unwrap();
+        let w = Tensor::from_vec(w, &[3, 2, 3, 3]).unwrap();
+        let _guard = parallel::override_lock();
+        parallel::set_threads(1);
+        let base = conv2d(&x, &w, None, geo);
+        let base_cols = im2col(&x, geo);
+        let base_im = col2im(&base_cols, 3, 2, 6, 6, geo);
+        for threads in [2, 3, 4] {
+            parallel::set_threads(threads);
+            prop_assert_eq!(&conv2d(&x, &w, None, geo), &base, "threads {}", threads);
+            let cols = im2col(&x, geo);
+            prop_assert_eq!(&cols, &base_cols, "threads {}", threads);
+            prop_assert_eq!(&col2im(&cols, 3, 2, 6, 6, geo), &base_im, "threads {}", threads);
+        }
+        parallel::set_threads(0);
     }
 
     #[test]

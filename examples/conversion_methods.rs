@@ -41,7 +41,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("source DNN accuracy: {:.2} %\n", dnn_acc * 100.0);
 
     let methods: [(&str, ConversionMethod); 5] = [
-        ("threshold-balance (V=mu)", ConversionMethod::ThresholdBalance),
+        (
+            "threshold-balance (V=mu)",
+            ConversionMethod::ThresholdBalance,
+        ),
         (
             "max pre-activation [15]",
             ConversionMethod::MaxPreactivation { percentile: 100.0 },
@@ -69,6 +72,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
         println!();
     }
-    println!("\n(DNN reference: {:.1} %; chance: {:.1} %)", dnn_acc * 100.0, 100.0 / data_cfg.classes as f32);
+    println!(
+        "\n(DNN reference: {:.1} %; chance: {:.1} %)",
+        dnn_acc * 100.0,
+        100.0 / data_cfg.classes as f32
+    );
     Ok(())
 }

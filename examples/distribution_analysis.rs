@@ -31,12 +31,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     };
     let mut rng = seeded_rng(5);
     for e in 0..8 {
-        let s = train_epoch(&mut dnn, &train, &sgd, LrSchedule::paper(8).factor(e), &tcfg, &mut rng);
+        let s = train_epoch(
+            &mut dnn,
+            &train,
+            &sgd,
+            LrSchedule::paper(8).factor(e),
+            &tcfg,
+            &mut rng,
+        );
         if e % 4 == 3 {
-            println!("epoch {e}: loss {:.3}, train acc {:.1} %", s.loss, s.accuracy * 100.0);
+            println!(
+                "epoch {e}: loss {:.3}, train acc {:.1} %",
+                s.loss,
+                s.accuracy * 100.0
+            );
         }
     }
-    println!("test accuracy: {:.1} %\n", evaluate(&dnn, &test, 32) * 100.0);
+    println!(
+        "test accuracy: {:.1} %\n",
+        evaluate(&dnn, &test, 32) * 100.0
+    );
 
     let layers = collect_preactivations(&dnn, &train, 64, 20_000);
     let ts = [1usize, 2, 3, 4, 5, 16];

@@ -68,9 +68,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             r.label,
             r.improvement_over(dnn_row)
         );
-        println!(
-            "  (paper reports 103.5-159.2x at full VGG-16 scale; see EXPERIMENTS.md)"
-        );
+        println!("  (paper reports 103.5-159.2x at full VGG-16 scale; see EXPERIMENTS.md)");
         // Neuromorphic view: compute-bound, so the ratios carry over.
         let (_, stats) = evaluate_snn(&snn2, &test, r.steps, 32);
         let audit = audit_snn(&snn2, &dnn_audit, &stats.report());

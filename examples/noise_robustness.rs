@@ -28,7 +28,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         report.snn_accuracy * 100.0
     );
 
-    println!("{:<12}{:>10}{:>12}{:>14}{:>14}", "noise std", "DNN %", "SNN %", "DNN drop", "SNN drop");
+    println!(
+        "{:<12}{:>10}{:>12}{:>14}{:>14}",
+        "noise std", "DNN %", "SNN %", "DNN drop", "SNN drop"
+    );
     for (i, std) in [0.0f32, 0.25, 0.5, 0.75, 1.0].iter().enumerate() {
         let noisy = test.with_noise(*std, 1000 + i as u64);
         let dnn_acc = evaluate(&dnn, &noisy, 32);

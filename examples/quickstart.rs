@@ -36,9 +36,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let (report, snn) = run_pipeline(&mut dnn, &train, &test, &cfg, &mut rng)?;
 
     println!("\n=== Table-I style result (T = {t}) ===");
-    println!("(a) DNN accuracy:                 {:.2} %", report.dnn_accuracy * 100.0);
-    println!("(b) after DNN->SNN conversion:    {:.2} %", report.converted_accuracy * 100.0);
-    println!("(c) after SGL fine-tuning:        {:.2} %", report.snn_accuracy * 100.0);
+    println!(
+        "(a) DNN accuracy:                 {:.2} %",
+        report.dnn_accuracy * 100.0
+    );
+    println!(
+        "(b) after DNN->SNN conversion:    {:.2} %",
+        report.converted_accuracy * 100.0
+    );
+    println!(
+        "(c) after SGL fine-tuning:        {:.2} %",
+        report.snn_accuracy * 100.0
+    );
 
     // Full per-layer picture: scalings, rate errors by depth, spike rates.
     let summary = ultralow_snn::core::ConversionSummary::measure(

@@ -67,7 +67,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         })
         .collect();
     let snn_bias = SnnNetwork::from_network(&dnn, &specs)?;
-    raster("same + bias shift (U(0) = V/2, [15])", &snn_bias, &batch.images, t);
+    raster(
+        "same + bias shift (U(0) = V/2, [15])",
+        &snn_bias,
+        &batch.images,
+        t,
+    );
 
     println!(
         "\nreading: with U(0) = V^th/2 the first columns fill in earlier — the\n\

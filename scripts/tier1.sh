@@ -1,0 +1,9 @@
+#!/usr/bin/env sh
+# Tier-1 gate: release build + full workspace test suite.
+# Everything is offline — dependencies are vendored under vendor/.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+cargo build --release --workspace
+cargo test --workspace -q

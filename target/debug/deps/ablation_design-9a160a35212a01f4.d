@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_design-9a160a35212a01f4.d: crates/bench/src/bin/ablation_design.rs
+
+/root/repo/target/debug/deps/ablation_design-9a160a35212a01f4: crates/bench/src/bin/ablation_design.rs
+
+crates/bench/src/bin/ablation_design.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_design-b96977f8d44526ea.d: crates/bench/src/bin/ablation_design.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_design-b96977f8d44526ea.rmeta: crates/bench/src/bin/ablation_design.rs Cargo.toml
+
+crates/bench/src/bin/ablation_design.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_design-c49108885f61bfb2.d: crates/bench/src/bin/ablation_design.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_design-c49108885f61bfb2.rmeta: crates/bench/src/bin/ablation_design.rs Cargo.toml
+
+crates/bench/src/bin/ablation_design.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_scaling-394fdf12ae7fde60.d: crates/bench/src/bin/ablation_scaling.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_scaling-394fdf12ae7fde60.rmeta: crates/bench/src/bin/ablation_scaling.rs Cargo.toml
+
+crates/bench/src/bin/ablation_scaling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

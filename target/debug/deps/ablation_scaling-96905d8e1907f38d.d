@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_scaling-96905d8e1907f38d.d: crates/bench/src/bin/ablation_scaling.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_scaling-96905d8e1907f38d.rmeta: crates/bench/src/bin/ablation_scaling.rs Cargo.toml
+
+crates/bench/src/bin/ablation_scaling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

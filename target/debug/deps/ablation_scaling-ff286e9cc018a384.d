@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_scaling-ff286e9cc018a384.d: crates/bench/src/bin/ablation_scaling.rs
+
+/root/repo/target/debug/deps/ablation_scaling-ff286e9cc018a384: crates/bench/src/bin/ablation_scaling.rs
+
+crates/bench/src/bin/ablation_scaling.rs:

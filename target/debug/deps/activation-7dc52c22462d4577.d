@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/activation-7dc52c22462d4577.d: crates/bench/benches/activation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libactivation-7dc52c22462d4577.rmeta: crates/bench/benches/activation.rs Cargo.toml
+
+crates/bench/benches/activation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

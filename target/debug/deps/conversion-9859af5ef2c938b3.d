@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/conversion-9859af5ef2c938b3.d: crates/bench/benches/conversion.rs Cargo.toml
+
+/root/repo/target/debug/deps/libconversion-9859af5ef2c938b3.rmeta: crates/bench/benches/conversion.rs Cargo.toml
+
+crates/bench/benches/conversion.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/debug_sgl-69a9b6fce71ab14e.d: crates/bench/src/bin/debug_sgl.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdebug_sgl-69a9b6fce71ab14e.rmeta: crates/bench/src/bin/debug_sgl.rs Cargo.toml
+
+crates/bench/src/bin/debug_sgl.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/debug_sgl-9cee478e933b0686.d: crates/bench/src/bin/debug_sgl.rs
+
+/root/repo/target/debug/deps/debug_sgl-9cee478e933b0686: crates/bench/src/bin/debug_sgl.rs
+
+crates/bench/src/bin/debug_sgl.rs:

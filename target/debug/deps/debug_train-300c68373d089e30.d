@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/debug_train-300c68373d089e30.d: crates/bench/src/bin/debug_train.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdebug_train-300c68373d089e30.rmeta: crates/bench/src/bin/debug_train.rs Cargo.toml
+
+crates/bench/src/bin/debug_train.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/debug_train-6e7f55d6723d3905.d: crates/bench/src/bin/debug_train.rs
+
+/root/repo/target/debug/deps/debug_train-6e7f55d6723d3905: crates/bench/src/bin/debug_train.rs
+
+crates/bench/src/bin/debug_train.rs:

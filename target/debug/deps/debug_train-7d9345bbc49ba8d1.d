@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/debug_train-7d9345bbc49ba8d1.d: crates/bench/src/bin/debug_train.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdebug_train-7d9345bbc49ba8d1.rmeta: crates/bench/src/bin/debug_train.rs Cargo.toml
+
+crates/bench/src/bin/debug_train.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

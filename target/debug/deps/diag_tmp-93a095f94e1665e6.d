@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/diag_tmp-93a095f94e1665e6.d: crates/grad/tests/diag_tmp.rs
+
+/root/repo/target/debug/deps/diag_tmp-93a095f94e1665e6: crates/grad/tests/diag_tmp.rs
+
+crates/grad/tests/diag_tmp.rs:

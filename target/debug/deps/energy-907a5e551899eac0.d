@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/energy-907a5e551899eac0.d: crates/bench/benches/energy.rs Cargo.toml
+
+/root/repo/target/debug/deps/libenergy-907a5e551899eac0.rmeta: crates/bench/benches/energy.rs Cargo.toml
+
+crates/bench/benches/energy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

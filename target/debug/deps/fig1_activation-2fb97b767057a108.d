@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig1_activation-2fb97b767057a108.d: crates/bench/src/bin/fig1_activation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig1_activation-2fb97b767057a108.rmeta: crates/bench/src/bin/fig1_activation.rs Cargo.toml
+
+crates/bench/src/bin/fig1_activation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

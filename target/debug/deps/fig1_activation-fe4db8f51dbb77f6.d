@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig1_activation-fe4db8f51dbb77f6.d: crates/bench/src/bin/fig1_activation.rs
+
+/root/repo/target/debug/deps/fig1_activation-fe4db8f51dbb77f6: crates/bench/src/bin/fig1_activation.rs
+
+crates/bench/src/bin/fig1_activation.rs:

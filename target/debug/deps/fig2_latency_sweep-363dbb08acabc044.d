@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2_latency_sweep-363dbb08acabc044.d: crates/bench/src/bin/fig2_latency_sweep.rs
+
+/root/repo/target/debug/deps/fig2_latency_sweep-363dbb08acabc044: crates/bench/src/bin/fig2_latency_sweep.rs
+
+crates/bench/src/bin/fig2_latency_sweep.rs:

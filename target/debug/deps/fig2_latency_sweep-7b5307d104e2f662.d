@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig2_latency_sweep-7b5307d104e2f662.d: crates/bench/src/bin/fig2_latency_sweep.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig2_latency_sweep-7b5307d104e2f662.rmeta: crates/bench/src/bin/fig2_latency_sweep.rs Cargo.toml
+
+crates/bench/src/bin/fig2_latency_sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3_cost-087fd54f400cf3dc.d: crates/bench/src/bin/fig3_cost.rs
+
+/root/repo/target/debug/deps/fig3_cost-087fd54f400cf3dc: crates/bench/src/bin/fig3_cost.rs
+
+crates/bench/src/bin/fig3_cost.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig3_cost-e4bed5c542a0143c.d: crates/bench/src/bin/fig3_cost.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig3_cost-e4bed5c542a0143c.rmeta: crates/bench/src/bin/fig3_cost.rs Cargo.toml
+
+crates/bench/src/bin/fig3_cost.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

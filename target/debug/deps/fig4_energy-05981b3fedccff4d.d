@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4_energy-05981b3fedccff4d.d: crates/bench/src/bin/fig4_energy.rs
+
+/root/repo/target/debug/deps/fig4_energy-05981b3fedccff4d: crates/bench/src/bin/fig4_energy.rs
+
+crates/bench/src/bin/fig4_energy.rs:

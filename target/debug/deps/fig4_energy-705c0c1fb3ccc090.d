@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig4_energy-705c0c1fb3ccc090.d: crates/bench/src/bin/fig4_energy.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig4_energy-705c0c1fb3ccc090.rmeta: crates/bench/src/bin/fig4_energy.rs Cargo.toml
+
+crates/bench/src/bin/fig4_energy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

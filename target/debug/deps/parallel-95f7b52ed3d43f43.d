@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/parallel-95f7b52ed3d43f43.d: crates/bench/benches/parallel.rs Cargo.toml
+
+/root/repo/target/debug/deps/libparallel-95f7b52ed3d43f43.rmeta: crates/bench/benches/parallel.rs Cargo.toml
+
+crates/bench/benches/parallel.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-64d4ff5548fd7769.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-64d4ff5548fd7769.rlib: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-64d4ff5548fd7769.rmeta: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-b6dd60ddb372e454.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/proptest-b6dd60ddb372e454: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-0ff002f050bcdb49.d: crates/nn/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-0ff002f050bcdb49.rmeta: crates/nn/tests/proptests.rs Cargo.toml
+
+crates/nn/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-3eea140bee7167a4.d: crates/tensor/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-3eea140bee7167a4: crates/tensor/tests/proptests.rs
+
+crates/tensor/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-406f4ae72a00d316.d: crates/nn/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-406f4ae72a00d316: crates/nn/tests/proptests.rs
+
+crates/nn/tests/proptests.rs:

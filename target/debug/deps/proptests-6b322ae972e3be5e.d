@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-6b322ae972e3be5e.d: crates/snn/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-6b322ae972e3be5e: crates/snn/tests/proptests.rs
+
+crates/snn/tests/proptests.rs:

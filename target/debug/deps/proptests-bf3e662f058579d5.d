@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-bf3e662f058579d5.d: crates/snn/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-bf3e662f058579d5.rmeta: crates/snn/tests/proptests.rs Cargo.toml
+
+crates/snn/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

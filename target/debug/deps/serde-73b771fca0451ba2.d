@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde-73b771fca0451ba2.d: vendor/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-73b771fca0451ba2.rlib: vendor/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-73b771fca0451ba2.rmeta: vendor/serde/src/lib.rs
+
+vendor/serde/src/lib.rs:

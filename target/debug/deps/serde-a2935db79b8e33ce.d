@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/serde-a2935db79b8e33ce.d: vendor/serde/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libserde-a2935db79b8e33ce.rmeta: vendor/serde/src/lib.rs Cargo.toml
+
+vendor/serde/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde-b973dcdd1b52187c.d: vendor/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-b973dcdd1b52187c.rlib: vendor/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-b973dcdd1b52187c.rmeta: vendor/serde/src/lib.rs
+
+vendor/serde/src/lib.rs:

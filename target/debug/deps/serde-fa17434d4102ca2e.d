@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde-fa17434d4102ca2e.d: vendor/serde/src/lib.rs
+
+/root/repo/target/debug/deps/serde-fa17434d4102ca2e: vendor/serde/src/lib.rs
+
+vendor/serde/src/lib.rs:

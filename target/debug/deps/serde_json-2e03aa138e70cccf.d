@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde_json-2e03aa138e70cccf.d: vendor/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-2e03aa138e70cccf.rlib: vendor/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-2e03aa138e70cccf.rmeta: vendor/serde_json/src/lib.rs
+
+vendor/serde_json/src/lib.rs:

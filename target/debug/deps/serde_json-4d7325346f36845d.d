@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde_json-4d7325346f36845d.d: vendor/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-4d7325346f36845d.rlib: vendor/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-4d7325346f36845d.rmeta: vendor/serde_json/src/lib.rs
+
+vendor/serde_json/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_json-acedcbfda35d872b.d: vendor/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/serde_json-acedcbfda35d872b: vendor/serde_json/src/lib.rs
+
+vendor/serde_json/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/serde_json-f69ad86e83db061b.d: vendor/serde_json/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libserde_json-f69ad86e83db061b.rmeta: vendor/serde_json/src/lib.rs Cargo.toml
+
+vendor/serde_json/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

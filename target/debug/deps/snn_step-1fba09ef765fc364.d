@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/snn_step-1fba09ef765fc364.d: crates/bench/benches/snn_step.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsnn_step-1fba09ef765fc364.rmeta: crates/bench/benches/snn_step.rs Cargo.toml
+
+crates/bench/benches/snn_step.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

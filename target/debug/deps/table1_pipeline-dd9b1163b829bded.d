@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_pipeline-dd9b1163b829bded.d: crates/bench/src/bin/table1_pipeline.rs
+
+/root/repo/target/debug/deps/table1_pipeline-dd9b1163b829bded: crates/bench/src/bin/table1_pipeline.rs
+
+crates/bench/src/bin/table1_pipeline.rs:

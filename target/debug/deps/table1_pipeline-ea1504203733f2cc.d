@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table1_pipeline-ea1504203733f2cc.d: crates/bench/src/bin/table1_pipeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable1_pipeline-ea1504203733f2cc.rmeta: crates/bench/src/bin/table1_pipeline.rs Cargo.toml
+
+crates/bench/src/bin/table1_pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

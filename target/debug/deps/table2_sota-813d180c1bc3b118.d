@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2_sota-813d180c1bc3b118.d: crates/bench/src/bin/table2_sota.rs
+
+/root/repo/target/debug/deps/table2_sota-813d180c1bc3b118: crates/bench/src/bin/table2_sota.rs
+
+crates/bench/src/bin/table2_sota.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table2_sota-f483c6a155b3b3d9.d: crates/bench/src/bin/table2_sota.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable2_sota-f483c6a155b3b3d9.rmeta: crates/bench/src/bin/table2_sota.rs Cargo.toml
+
+crates/bench/src/bin/table2_sota.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

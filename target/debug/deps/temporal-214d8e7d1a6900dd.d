@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/temporal-214d8e7d1a6900dd.d: crates/snn/tests/temporal.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtemporal-214d8e7d1a6900dd.rmeta: crates/snn/tests/temporal.rs Cargo.toml
+
+crates/snn/tests/temporal.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

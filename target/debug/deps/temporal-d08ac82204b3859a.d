@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/temporal-d08ac82204b3859a.d: crates/snn/tests/temporal.rs
+
+/root/repo/target/debug/deps/temporal-d08ac82204b3859a: crates/snn/tests/temporal.rs
+
+crates/snn/tests/temporal.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tensor_ops-4852ca8d07d798bd.d: crates/bench/benches/tensor_ops.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtensor_ops-4852ca8d07d798bd.rmeta: crates/bench/benches/tensor_ops.rs Cargo.toml
+
+crates/bench/benches/tensor_ops.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ull_bench-93d0e867c3b0f3ad.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libull_bench-93d0e867c3b0f3ad.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libull_bench-93d0e867c3b0f3ad.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/ull_bench-a1e961250f63cb8d.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libull_bench-a1e961250f63cb8d.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

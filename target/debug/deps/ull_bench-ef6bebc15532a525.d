@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/ull_bench-ef6bebc15532a525.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/ull_bench-ef6bebc15532a525: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

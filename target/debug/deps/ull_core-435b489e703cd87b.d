@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/ull_core-435b489e703cd87b.d: crates/core/src/lib.rs crates/core/src/activation.rs crates/core/src/algorithm1.rs crates/core/src/analysis.rs crates/core/src/convert.rs crates/core/src/depth.rs crates/core/src/pipeline.rs crates/core/src/summary.rs Cargo.toml
+
+/root/repo/target/debug/deps/libull_core-435b489e703cd87b.rmeta: crates/core/src/lib.rs crates/core/src/activation.rs crates/core/src/algorithm1.rs crates/core/src/analysis.rs crates/core/src/convert.rs crates/core/src/depth.rs crates/core/src/pipeline.rs crates/core/src/summary.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/activation.rs:
+crates/core/src/algorithm1.rs:
+crates/core/src/analysis.rs:
+crates/core/src/convert.rs:
+crates/core/src/depth.rs:
+crates/core/src/pipeline.rs:
+crates/core/src/summary.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

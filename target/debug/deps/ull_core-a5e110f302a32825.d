@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/ull_core-a5e110f302a32825.d: crates/core/src/lib.rs crates/core/src/activation.rs crates/core/src/algorithm1.rs crates/core/src/analysis.rs crates/core/src/convert.rs crates/core/src/depth.rs crates/core/src/pipeline.rs crates/core/src/summary.rs
+
+/root/repo/target/debug/deps/libull_core-a5e110f302a32825.rlib: crates/core/src/lib.rs crates/core/src/activation.rs crates/core/src/algorithm1.rs crates/core/src/analysis.rs crates/core/src/convert.rs crates/core/src/depth.rs crates/core/src/pipeline.rs crates/core/src/summary.rs
+
+/root/repo/target/debug/deps/libull_core-a5e110f302a32825.rmeta: crates/core/src/lib.rs crates/core/src/activation.rs crates/core/src/algorithm1.rs crates/core/src/analysis.rs crates/core/src/convert.rs crates/core/src/depth.rs crates/core/src/pipeline.rs crates/core/src/summary.rs
+
+crates/core/src/lib.rs:
+crates/core/src/activation.rs:
+crates/core/src/algorithm1.rs:
+crates/core/src/analysis.rs:
+crates/core/src/convert.rs:
+crates/core/src/depth.rs:
+crates/core/src/pipeline.rs:
+crates/core/src/summary.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/ull_core-d719755b15c4d1c7.d: crates/core/src/lib.rs crates/core/src/activation.rs crates/core/src/algorithm1.rs crates/core/src/analysis.rs crates/core/src/convert.rs crates/core/src/depth.rs crates/core/src/pipeline.rs crates/core/src/summary.rs
+
+/root/repo/target/debug/deps/ull_core-d719755b15c4d1c7: crates/core/src/lib.rs crates/core/src/activation.rs crates/core/src/algorithm1.rs crates/core/src/analysis.rs crates/core/src/convert.rs crates/core/src/depth.rs crates/core/src/pipeline.rs crates/core/src/summary.rs
+
+crates/core/src/lib.rs:
+crates/core/src/activation.rs:
+crates/core/src/algorithm1.rs:
+crates/core/src/analysis.rs:
+crates/core/src/convert.rs:
+crates/core/src/depth.rs:
+crates/core/src/pipeline.rs:
+crates/core/src/summary.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/ull_data-11c9352593ac23b0.d: crates/data/src/lib.rs crates/data/src/augment.rs crates/data/src/dataset.rs crates/data/src/synth.rs
+
+/root/repo/target/debug/deps/libull_data-11c9352593ac23b0.rlib: crates/data/src/lib.rs crates/data/src/augment.rs crates/data/src/dataset.rs crates/data/src/synth.rs
+
+/root/repo/target/debug/deps/libull_data-11c9352593ac23b0.rmeta: crates/data/src/lib.rs crates/data/src/augment.rs crates/data/src/dataset.rs crates/data/src/synth.rs
+
+crates/data/src/lib.rs:
+crates/data/src/augment.rs:
+crates/data/src/dataset.rs:
+crates/data/src/synth.rs:

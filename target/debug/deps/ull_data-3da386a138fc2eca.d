@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/ull_data-3da386a138fc2eca.d: crates/data/src/lib.rs crates/data/src/augment.rs crates/data/src/dataset.rs crates/data/src/synth.rs Cargo.toml
+
+/root/repo/target/debug/deps/libull_data-3da386a138fc2eca.rmeta: crates/data/src/lib.rs crates/data/src/augment.rs crates/data/src/dataset.rs crates/data/src/synth.rs Cargo.toml
+
+crates/data/src/lib.rs:
+crates/data/src/augment.rs:
+crates/data/src/dataset.rs:
+crates/data/src/synth.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

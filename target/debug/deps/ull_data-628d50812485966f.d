@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/ull_data-628d50812485966f.d: crates/data/src/lib.rs crates/data/src/augment.rs crates/data/src/dataset.rs crates/data/src/synth.rs
+
+/root/repo/target/debug/deps/ull_data-628d50812485966f: crates/data/src/lib.rs crates/data/src/augment.rs crates/data/src/dataset.rs crates/data/src/synth.rs
+
+crates/data/src/lib.rs:
+crates/data/src/augment.rs:
+crates/data/src/dataset.rs:
+crates/data/src/synth.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/ull_data-fa9bdaf9a5e67ab4.d: crates/data/src/lib.rs crates/data/src/augment.rs crates/data/src/dataset.rs crates/data/src/synth.rs
+
+/root/repo/target/debug/deps/libull_data-fa9bdaf9a5e67ab4.rlib: crates/data/src/lib.rs crates/data/src/augment.rs crates/data/src/dataset.rs crates/data/src/synth.rs
+
+/root/repo/target/debug/deps/libull_data-fa9bdaf9a5e67ab4.rmeta: crates/data/src/lib.rs crates/data/src/augment.rs crates/data/src/dataset.rs crates/data/src/synth.rs
+
+crates/data/src/lib.rs:
+crates/data/src/augment.rs:
+crates/data/src/dataset.rs:
+crates/data/src/synth.rs:

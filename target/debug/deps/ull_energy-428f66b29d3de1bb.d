@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/ull_energy-428f66b29d3de1bb.d: crates/energy/src/lib.rs crates/energy/src/activity.rs crates/energy/src/flops.rs crates/energy/src/model.rs Cargo.toml
+
+/root/repo/target/debug/deps/libull_energy-428f66b29d3de1bb.rmeta: crates/energy/src/lib.rs crates/energy/src/activity.rs crates/energy/src/flops.rs crates/energy/src/model.rs Cargo.toml
+
+crates/energy/src/lib.rs:
+crates/energy/src/activity.rs:
+crates/energy/src/flops.rs:
+crates/energy/src/model.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

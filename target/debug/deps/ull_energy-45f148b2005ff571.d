@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/ull_energy-45f148b2005ff571.d: crates/energy/src/lib.rs crates/energy/src/activity.rs crates/energy/src/flops.rs crates/energy/src/model.rs Cargo.toml
+
+/root/repo/target/debug/deps/libull_energy-45f148b2005ff571.rmeta: crates/energy/src/lib.rs crates/energy/src/activity.rs crates/energy/src/flops.rs crates/energy/src/model.rs Cargo.toml
+
+crates/energy/src/lib.rs:
+crates/energy/src/activity.rs:
+crates/energy/src/flops.rs:
+crates/energy/src/model.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/ull_energy-74c9fcd4400091d6.d: crates/energy/src/lib.rs crates/energy/src/activity.rs crates/energy/src/flops.rs crates/energy/src/model.rs
+
+/root/repo/target/debug/deps/ull_energy-74c9fcd4400091d6: crates/energy/src/lib.rs crates/energy/src/activity.rs crates/energy/src/flops.rs crates/energy/src/model.rs
+
+crates/energy/src/lib.rs:
+crates/energy/src/activity.rs:
+crates/energy/src/flops.rs:
+crates/energy/src/model.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/ull_energy-d8211247956f6d5a.d: crates/energy/src/lib.rs crates/energy/src/activity.rs crates/energy/src/flops.rs crates/energy/src/model.rs
+
+/root/repo/target/debug/deps/libull_energy-d8211247956f6d5a.rlib: crates/energy/src/lib.rs crates/energy/src/activity.rs crates/energy/src/flops.rs crates/energy/src/model.rs
+
+/root/repo/target/debug/deps/libull_energy-d8211247956f6d5a.rmeta: crates/energy/src/lib.rs crates/energy/src/activity.rs crates/energy/src/flops.rs crates/energy/src/model.rs
+
+crates/energy/src/lib.rs:
+crates/energy/src/activity.rs:
+crates/energy/src/flops.rs:
+crates/energy/src/model.rs:

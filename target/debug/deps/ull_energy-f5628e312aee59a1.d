@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/ull_energy-f5628e312aee59a1.d: crates/energy/src/lib.rs crates/energy/src/activity.rs crates/energy/src/flops.rs crates/energy/src/model.rs
+
+/root/repo/target/debug/deps/libull_energy-f5628e312aee59a1.rlib: crates/energy/src/lib.rs crates/energy/src/activity.rs crates/energy/src/flops.rs crates/energy/src/model.rs
+
+/root/repo/target/debug/deps/libull_energy-f5628e312aee59a1.rmeta: crates/energy/src/lib.rs crates/energy/src/activity.rs crates/energy/src/flops.rs crates/energy/src/model.rs
+
+crates/energy/src/lib.rs:
+crates/energy/src/activity.rs:
+crates/energy/src/flops.rs:
+crates/energy/src/model.rs:

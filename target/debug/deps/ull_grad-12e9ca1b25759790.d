@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/ull_grad-12e9ca1b25759790.d: crates/grad/src/lib.rs crates/grad/src/check.rs crates/grad/src/graph.rs Cargo.toml
+
+/root/repo/target/debug/deps/libull_grad-12e9ca1b25759790.rmeta: crates/grad/src/lib.rs crates/grad/src/check.rs crates/grad/src/graph.rs Cargo.toml
+
+crates/grad/src/lib.rs:
+crates/grad/src/check.rs:
+crates/grad/src/graph.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

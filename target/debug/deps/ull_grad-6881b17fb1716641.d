@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/ull_grad-6881b17fb1716641.d: crates/grad/src/lib.rs crates/grad/src/check.rs crates/grad/src/graph.rs
+
+/root/repo/target/debug/deps/ull_grad-6881b17fb1716641: crates/grad/src/lib.rs crates/grad/src/check.rs crates/grad/src/graph.rs
+
+crates/grad/src/lib.rs:
+crates/grad/src/check.rs:
+crates/grad/src/graph.rs:

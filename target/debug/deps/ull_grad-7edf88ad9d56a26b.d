@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ull_grad-7edf88ad9d56a26b.d: crates/grad/src/lib.rs crates/grad/src/check.rs crates/grad/src/graph.rs
+
+/root/repo/target/debug/deps/libull_grad-7edf88ad9d56a26b.rlib: crates/grad/src/lib.rs crates/grad/src/check.rs crates/grad/src/graph.rs
+
+/root/repo/target/debug/deps/libull_grad-7edf88ad9d56a26b.rmeta: crates/grad/src/lib.rs crates/grad/src/check.rs crates/grad/src/graph.rs
+
+crates/grad/src/lib.rs:
+crates/grad/src/check.rs:
+crates/grad/src/graph.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/ull_grad-ebf948cbcfdebcbf.d: crates/grad/src/lib.rs crates/grad/src/check.rs crates/grad/src/graph.rs Cargo.toml
+
+/root/repo/target/debug/deps/libull_grad-ebf948cbcfdebcbf.rmeta: crates/grad/src/lib.rs crates/grad/src/check.rs crates/grad/src/graph.rs Cargo.toml
+
+crates/grad/src/lib.rs:
+crates/grad/src/check.rs:
+crates/grad/src/graph.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

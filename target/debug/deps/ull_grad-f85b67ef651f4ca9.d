@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ull_grad-f85b67ef651f4ca9.d: crates/grad/src/lib.rs crates/grad/src/check.rs crates/grad/src/graph.rs
+
+/root/repo/target/debug/deps/libull_grad-f85b67ef651f4ca9.rlib: crates/grad/src/lib.rs crates/grad/src/check.rs crates/grad/src/graph.rs
+
+/root/repo/target/debug/deps/libull_grad-f85b67ef651f4ca9.rmeta: crates/grad/src/lib.rs crates/grad/src/check.rs crates/grad/src/graph.rs
+
+crates/grad/src/lib.rs:
+crates/grad/src/check.rs:
+crates/grad/src/graph.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/ull_nn-074a645fdabb49ae.d: crates/nn/src/lib.rs crates/nn/src/adam.rs crates/nn/src/checkpoint.rs crates/nn/src/loss.rs crates/nn/src/metrics.rs crates/nn/src/network.rs crates/nn/src/optim.rs crates/nn/src/param.rs crates/nn/src/trainer.rs crates/nn/src/models.rs
+
+/root/repo/target/debug/deps/libull_nn-074a645fdabb49ae.rlib: crates/nn/src/lib.rs crates/nn/src/adam.rs crates/nn/src/checkpoint.rs crates/nn/src/loss.rs crates/nn/src/metrics.rs crates/nn/src/network.rs crates/nn/src/optim.rs crates/nn/src/param.rs crates/nn/src/trainer.rs crates/nn/src/models.rs
+
+/root/repo/target/debug/deps/libull_nn-074a645fdabb49ae.rmeta: crates/nn/src/lib.rs crates/nn/src/adam.rs crates/nn/src/checkpoint.rs crates/nn/src/loss.rs crates/nn/src/metrics.rs crates/nn/src/network.rs crates/nn/src/optim.rs crates/nn/src/param.rs crates/nn/src/trainer.rs crates/nn/src/models.rs
+
+crates/nn/src/lib.rs:
+crates/nn/src/adam.rs:
+crates/nn/src/checkpoint.rs:
+crates/nn/src/loss.rs:
+crates/nn/src/metrics.rs:
+crates/nn/src/network.rs:
+crates/nn/src/optim.rs:
+crates/nn/src/param.rs:
+crates/nn/src/trainer.rs:
+crates/nn/src/models.rs:

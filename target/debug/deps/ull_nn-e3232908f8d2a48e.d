@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/ull_nn-e3232908f8d2a48e.d: crates/nn/src/lib.rs crates/nn/src/adam.rs crates/nn/src/checkpoint.rs crates/nn/src/loss.rs crates/nn/src/metrics.rs crates/nn/src/network.rs crates/nn/src/optim.rs crates/nn/src/param.rs crates/nn/src/trainer.rs crates/nn/src/models.rs Cargo.toml
+
+/root/repo/target/debug/deps/libull_nn-e3232908f8d2a48e.rmeta: crates/nn/src/lib.rs crates/nn/src/adam.rs crates/nn/src/checkpoint.rs crates/nn/src/loss.rs crates/nn/src/metrics.rs crates/nn/src/network.rs crates/nn/src/optim.rs crates/nn/src/param.rs crates/nn/src/trainer.rs crates/nn/src/models.rs Cargo.toml
+
+crates/nn/src/lib.rs:
+crates/nn/src/adam.rs:
+crates/nn/src/checkpoint.rs:
+crates/nn/src/loss.rs:
+crates/nn/src/metrics.rs:
+crates/nn/src/network.rs:
+crates/nn/src/optim.rs:
+crates/nn/src/param.rs:
+crates/nn/src/trainer.rs:
+crates/nn/src/models.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/ull_snn-0b0f5fbcfafff7f6.d: crates/snn/src/lib.rs crates/snn/src/encoding.rs crates/snn/src/network.rs crates/snn/src/profile.rs crates/snn/src/stats.rs crates/snn/src/train.rs
+
+/root/repo/target/debug/deps/libull_snn-0b0f5fbcfafff7f6.rlib: crates/snn/src/lib.rs crates/snn/src/encoding.rs crates/snn/src/network.rs crates/snn/src/profile.rs crates/snn/src/stats.rs crates/snn/src/train.rs
+
+/root/repo/target/debug/deps/libull_snn-0b0f5fbcfafff7f6.rmeta: crates/snn/src/lib.rs crates/snn/src/encoding.rs crates/snn/src/network.rs crates/snn/src/profile.rs crates/snn/src/stats.rs crates/snn/src/train.rs
+
+crates/snn/src/lib.rs:
+crates/snn/src/encoding.rs:
+crates/snn/src/network.rs:
+crates/snn/src/profile.rs:
+crates/snn/src/stats.rs:
+crates/snn/src/train.rs:

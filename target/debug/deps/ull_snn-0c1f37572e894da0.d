@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/ull_snn-0c1f37572e894da0.d: crates/snn/src/lib.rs crates/snn/src/encoding.rs crates/snn/src/network.rs crates/snn/src/profile.rs crates/snn/src/stats.rs crates/snn/src/train.rs Cargo.toml
+
+/root/repo/target/debug/deps/libull_snn-0c1f37572e894da0.rmeta: crates/snn/src/lib.rs crates/snn/src/encoding.rs crates/snn/src/network.rs crates/snn/src/profile.rs crates/snn/src/stats.rs crates/snn/src/train.rs Cargo.toml
+
+crates/snn/src/lib.rs:
+crates/snn/src/encoding.rs:
+crates/snn/src/network.rs:
+crates/snn/src/profile.rs:
+crates/snn/src/stats.rs:
+crates/snn/src/train.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

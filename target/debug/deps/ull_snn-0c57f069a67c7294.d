@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/ull_snn-0c57f069a67c7294.d: crates/snn/src/lib.rs crates/snn/src/encoding.rs crates/snn/src/network.rs crates/snn/src/profile.rs crates/snn/src/stats.rs crates/snn/src/train.rs
+
+/root/repo/target/debug/deps/libull_snn-0c57f069a67c7294.rlib: crates/snn/src/lib.rs crates/snn/src/encoding.rs crates/snn/src/network.rs crates/snn/src/profile.rs crates/snn/src/stats.rs crates/snn/src/train.rs
+
+/root/repo/target/debug/deps/libull_snn-0c57f069a67c7294.rmeta: crates/snn/src/lib.rs crates/snn/src/encoding.rs crates/snn/src/network.rs crates/snn/src/profile.rs crates/snn/src/stats.rs crates/snn/src/train.rs
+
+crates/snn/src/lib.rs:
+crates/snn/src/encoding.rs:
+crates/snn/src/network.rs:
+crates/snn/src/profile.rs:
+crates/snn/src/stats.rs:
+crates/snn/src/train.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/ull_snn-1ef58a85011b3544.d: crates/snn/src/lib.rs crates/snn/src/encoding.rs crates/snn/src/network.rs crates/snn/src/profile.rs crates/snn/src/stats.rs crates/snn/src/train.rs
+
+/root/repo/target/debug/deps/ull_snn-1ef58a85011b3544: crates/snn/src/lib.rs crates/snn/src/encoding.rs crates/snn/src/network.rs crates/snn/src/profile.rs crates/snn/src/stats.rs crates/snn/src/train.rs
+
+crates/snn/src/lib.rs:
+crates/snn/src/encoding.rs:
+crates/snn/src/network.rs:
+crates/snn/src/profile.rs:
+crates/snn/src/stats.rs:
+crates/snn/src/train.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/ull_tensor-4644f74df9170dcd.d: crates/tensor/src/lib.rs crates/tensor/src/error.rs crates/tensor/src/ops.rs crates/tensor/src/tensor.rs crates/tensor/src/conv.rs crates/tensor/src/init.rs crates/tensor/src/matmul.rs crates/tensor/src/parallel.rs crates/tensor/src/pool.rs crates/tensor/src/stats.rs Cargo.toml
+
+/root/repo/target/debug/deps/libull_tensor-4644f74df9170dcd.rmeta: crates/tensor/src/lib.rs crates/tensor/src/error.rs crates/tensor/src/ops.rs crates/tensor/src/tensor.rs crates/tensor/src/conv.rs crates/tensor/src/init.rs crates/tensor/src/matmul.rs crates/tensor/src/parallel.rs crates/tensor/src/pool.rs crates/tensor/src/stats.rs Cargo.toml
+
+crates/tensor/src/lib.rs:
+crates/tensor/src/error.rs:
+crates/tensor/src/ops.rs:
+crates/tensor/src/tensor.rs:
+crates/tensor/src/conv.rs:
+crates/tensor/src/init.rs:
+crates/tensor/src/matmul.rs:
+crates/tensor/src/parallel.rs:
+crates/tensor/src/pool.rs:
+crates/tensor/src/stats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/ull_tensor-6f1f5a978fe440c4.d: crates/tensor/src/lib.rs crates/tensor/src/error.rs crates/tensor/src/ops.rs crates/tensor/src/tensor.rs crates/tensor/src/conv.rs crates/tensor/src/init.rs crates/tensor/src/matmul.rs crates/tensor/src/parallel.rs crates/tensor/src/pool.rs crates/tensor/src/stats.rs
+
+/root/repo/target/debug/deps/libull_tensor-6f1f5a978fe440c4.rlib: crates/tensor/src/lib.rs crates/tensor/src/error.rs crates/tensor/src/ops.rs crates/tensor/src/tensor.rs crates/tensor/src/conv.rs crates/tensor/src/init.rs crates/tensor/src/matmul.rs crates/tensor/src/parallel.rs crates/tensor/src/pool.rs crates/tensor/src/stats.rs
+
+/root/repo/target/debug/deps/libull_tensor-6f1f5a978fe440c4.rmeta: crates/tensor/src/lib.rs crates/tensor/src/error.rs crates/tensor/src/ops.rs crates/tensor/src/tensor.rs crates/tensor/src/conv.rs crates/tensor/src/init.rs crates/tensor/src/matmul.rs crates/tensor/src/parallel.rs crates/tensor/src/pool.rs crates/tensor/src/stats.rs
+
+crates/tensor/src/lib.rs:
+crates/tensor/src/error.rs:
+crates/tensor/src/ops.rs:
+crates/tensor/src/tensor.rs:
+crates/tensor/src/conv.rs:
+crates/tensor/src/init.rs:
+crates/tensor/src/matmul.rs:
+crates/tensor/src/parallel.rs:
+crates/tensor/src/pool.rs:
+crates/tensor/src/stats.rs:

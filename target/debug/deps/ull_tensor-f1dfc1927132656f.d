@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/ull_tensor-f1dfc1927132656f.d: crates/tensor/src/lib.rs crates/tensor/src/error.rs crates/tensor/src/ops.rs crates/tensor/src/tensor.rs crates/tensor/src/conv.rs crates/tensor/src/init.rs crates/tensor/src/matmul.rs crates/tensor/src/parallel.rs crates/tensor/src/pool.rs crates/tensor/src/stats.rs
+
+/root/repo/target/debug/deps/ull_tensor-f1dfc1927132656f: crates/tensor/src/lib.rs crates/tensor/src/error.rs crates/tensor/src/ops.rs crates/tensor/src/tensor.rs crates/tensor/src/conv.rs crates/tensor/src/init.rs crates/tensor/src/matmul.rs crates/tensor/src/parallel.rs crates/tensor/src/pool.rs crates/tensor/src/stats.rs
+
+crates/tensor/src/lib.rs:
+crates/tensor/src/error.rs:
+crates/tensor/src/ops.rs:
+crates/tensor/src/tensor.rs:
+crates/tensor/src/conv.rs:
+crates/tensor/src/init.rs:
+crates/tensor/src/matmul.rs:
+crates/tensor/src/parallel.rs:
+crates/tensor/src/pool.rs:
+crates/tensor/src/stats.rs:

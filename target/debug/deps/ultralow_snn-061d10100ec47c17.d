@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ultralow_snn-061d10100ec47c17.d: src/lib.rs
+
+/root/repo/target/debug/deps/ultralow_snn-061d10100ec47c17: src/lib.rs
+
+src/lib.rs:

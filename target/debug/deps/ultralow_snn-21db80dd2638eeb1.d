@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/ultralow_snn-21db80dd2638eeb1.d: src/lib.rs
+
+/root/repo/target/debug/deps/libultralow_snn-21db80dd2638eeb1.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libultralow_snn-21db80dd2638eeb1.rmeta: src/lib.rs
+
+src/lib.rs:

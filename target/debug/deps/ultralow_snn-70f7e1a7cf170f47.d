@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ultralow_snn-70f7e1a7cf170f47.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libultralow_snn-70f7e1a7cf170f47.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

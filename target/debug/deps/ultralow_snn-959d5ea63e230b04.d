@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/ultralow_snn-959d5ea63e230b04.d: src/lib.rs
+
+/root/repo/target/debug/deps/libultralow_snn-959d5ea63e230b04.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libultralow_snn-959d5ea63e230b04.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ultralow_snn-e04720dd9ec52040.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libultralow_snn-e04720dd9ec52040.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/conversion_methods-1bddf63ea1dab12b.d: examples/conversion_methods.rs
+
+/root/repo/target/debug/examples/conversion_methods-1bddf63ea1dab12b: examples/conversion_methods.rs
+
+examples/conversion_methods.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/conversion_methods-c08a5335e9b67d33.d: examples/conversion_methods.rs Cargo.toml
+
+/root/repo/target/debug/examples/libconversion_methods-c08a5335e9b67d33.rmeta: examples/conversion_methods.rs Cargo.toml
+
+examples/conversion_methods.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

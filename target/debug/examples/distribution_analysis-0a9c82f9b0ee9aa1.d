@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/distribution_analysis-0a9c82f9b0ee9aa1.d: examples/distribution_analysis.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdistribution_analysis-0a9c82f9b0ee9aa1.rmeta: examples/distribution_analysis.rs Cargo.toml
+
+examples/distribution_analysis.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

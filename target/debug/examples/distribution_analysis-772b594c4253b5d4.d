@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/distribution_analysis-772b594c4253b5d4.d: examples/distribution_analysis.rs
+
+/root/repo/target/debug/examples/distribution_analysis-772b594c4253b5d4: examples/distribution_analysis.rs
+
+examples/distribution_analysis.rs:

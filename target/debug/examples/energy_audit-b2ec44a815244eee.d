@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/energy_audit-b2ec44a815244eee.d: examples/energy_audit.rs
+
+/root/repo/target/debug/examples/energy_audit-b2ec44a815244eee: examples/energy_audit.rs
+
+examples/energy_audit.rs:

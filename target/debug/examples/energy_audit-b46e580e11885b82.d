@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/energy_audit-b46e580e11885b82.d: examples/energy_audit.rs Cargo.toml
+
+/root/repo/target/debug/examples/libenergy_audit-b46e580e11885b82.rmeta: examples/energy_audit.rs Cargo.toml
+
+examples/energy_audit.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/noise_robustness-1505804e9b206fce.d: examples/noise_robustness.rs
+
+/root/repo/target/debug/examples/noise_robustness-1505804e9b206fce: examples/noise_robustness.rs
+
+examples/noise_robustness.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/noise_robustness-1626617626e2f54e.d: examples/noise_robustness.rs Cargo.toml
+
+/root/repo/target/debug/examples/libnoise_robustness-1626617626e2f54e.rmeta: examples/noise_robustness.rs Cargo.toml
+
+examples/noise_robustness.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-9ca5e8bc8b8e8d63.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-9ca5e8bc8b8e8d63: examples/quickstart.rs
+
+examples/quickstart.rs:

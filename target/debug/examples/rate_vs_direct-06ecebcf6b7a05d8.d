@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/rate_vs_direct-06ecebcf6b7a05d8.d: examples/rate_vs_direct.rs
+
+/root/repo/target/debug/examples/rate_vs_direct-06ecebcf6b7a05d8: examples/rate_vs_direct.rs
+
+examples/rate_vs_direct.rs:

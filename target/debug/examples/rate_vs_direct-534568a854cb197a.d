@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/rate_vs_direct-534568a854cb197a.d: examples/rate_vs_direct.rs Cargo.toml
+
+/root/repo/target/debug/examples/librate_vs_direct-534568a854cb197a.rmeta: examples/rate_vs_direct.rs Cargo.toml
+
+examples/rate_vs_direct.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

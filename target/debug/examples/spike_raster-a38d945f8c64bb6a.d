@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/spike_raster-a38d945f8c64bb6a.d: examples/spike_raster.rs
+
+/root/repo/target/debug/examples/spike_raster-a38d945f8c64bb6a: examples/spike_raster.rs
+
+examples/spike_raster.rs:

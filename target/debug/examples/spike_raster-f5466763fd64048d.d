@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/spike_raster-f5466763fd64048d.d: examples/spike_raster.rs Cargo.toml
+
+/root/repo/target/debug/examples/libspike_raster-f5466763fd64048d.rmeta: examples/spike_raster.rs Cargo.toml
+
+examples/spike_raster.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

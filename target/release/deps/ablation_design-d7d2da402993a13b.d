@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_design-d7d2da402993a13b.d: crates/bench/src/bin/ablation_design.rs
+
+/root/repo/target/release/deps/ablation_design-d7d2da402993a13b: crates/bench/src/bin/ablation_design.rs
+
+crates/bench/src/bin/ablation_design.rs:

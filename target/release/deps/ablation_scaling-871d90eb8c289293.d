@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_scaling-871d90eb8c289293.d: crates/bench/src/bin/ablation_scaling.rs
+
+/root/repo/target/release/deps/ablation_scaling-871d90eb8c289293: crates/bench/src/bin/ablation_scaling.rs
+
+crates/bench/src/bin/ablation_scaling.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/debug_sgl-523dd769627945e1.d: crates/bench/src/bin/debug_sgl.rs
+
+/root/repo/target/release/deps/debug_sgl-523dd769627945e1: crates/bench/src/bin/debug_sgl.rs
+
+crates/bench/src/bin/debug_sgl.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/debug_train-fca87c84d4394ce1.d: crates/bench/src/bin/debug_train.rs
+
+/root/repo/target/release/deps/debug_train-fca87c84d4394ce1: crates/bench/src/bin/debug_train.rs
+
+crates/bench/src/bin/debug_train.rs:

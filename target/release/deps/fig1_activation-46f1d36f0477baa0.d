@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig1_activation-46f1d36f0477baa0.d: crates/bench/src/bin/fig1_activation.rs
+
+/root/repo/target/release/deps/fig1_activation-46f1d36f0477baa0: crates/bench/src/bin/fig1_activation.rs
+
+crates/bench/src/bin/fig1_activation.rs:

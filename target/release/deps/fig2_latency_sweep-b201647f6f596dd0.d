@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig2_latency_sweep-b201647f6f596dd0.d: crates/bench/src/bin/fig2_latency_sweep.rs
+
+/root/repo/target/release/deps/fig2_latency_sweep-b201647f6f596dd0: crates/bench/src/bin/fig2_latency_sweep.rs
+
+crates/bench/src/bin/fig2_latency_sweep.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig3_cost-d798bee91df4452a.d: crates/bench/src/bin/fig3_cost.rs
+
+/root/repo/target/release/deps/fig3_cost-d798bee91df4452a: crates/bench/src/bin/fig3_cost.rs
+
+crates/bench/src/bin/fig3_cost.rs:

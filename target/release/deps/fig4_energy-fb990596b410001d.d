@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig4_energy-fb990596b410001d.d: crates/bench/src/bin/fig4_energy.rs
+
+/root/repo/target/release/deps/fig4_energy-fb990596b410001d: crates/bench/src/bin/fig4_energy.rs
+
+crates/bench/src/bin/fig4_energy.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/parallel-98b259b8923825e4.d: crates/bench/benches/parallel.rs
+
+/root/repo/target/release/deps/parallel-98b259b8923825e4: crates/bench/benches/parallel.rs
+
+crates/bench/benches/parallel.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1_pipeline-fce8b24702f5a1a2.d: crates/bench/src/bin/table1_pipeline.rs
+
+/root/repo/target/release/deps/table1_pipeline-fce8b24702f5a1a2: crates/bench/src/bin/table1_pipeline.rs
+
+crates/bench/src/bin/table1_pipeline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2_sota-5972a109492908e4.d: crates/bench/src/bin/table2_sota.rs
+
+/root/repo/target/release/deps/table2_sota-5972a109492908e4: crates/bench/src/bin/table2_sota.rs
+
+crates/bench/src/bin/table2_sota.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/ull_bench-db2fd87bee39d722.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libull_bench-db2fd87bee39d722.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libull_bench-db2fd87bee39d722.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/ull_core-38901956e9137315.d: crates/core/src/lib.rs crates/core/src/activation.rs crates/core/src/algorithm1.rs crates/core/src/analysis.rs crates/core/src/convert.rs crates/core/src/depth.rs crates/core/src/pipeline.rs crates/core/src/summary.rs
+
+/root/repo/target/release/deps/libull_core-38901956e9137315.rlib: crates/core/src/lib.rs crates/core/src/activation.rs crates/core/src/algorithm1.rs crates/core/src/analysis.rs crates/core/src/convert.rs crates/core/src/depth.rs crates/core/src/pipeline.rs crates/core/src/summary.rs
+
+/root/repo/target/release/deps/libull_core-38901956e9137315.rmeta: crates/core/src/lib.rs crates/core/src/activation.rs crates/core/src/algorithm1.rs crates/core/src/analysis.rs crates/core/src/convert.rs crates/core/src/depth.rs crates/core/src/pipeline.rs crates/core/src/summary.rs
+
+crates/core/src/lib.rs:
+crates/core/src/activation.rs:
+crates/core/src/algorithm1.rs:
+crates/core/src/analysis.rs:
+crates/core/src/convert.rs:
+crates/core/src/depth.rs:
+crates/core/src/pipeline.rs:
+crates/core/src/summary.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/ull_data-8cf193f4b3d4b665.d: crates/data/src/lib.rs crates/data/src/augment.rs crates/data/src/dataset.rs crates/data/src/synth.rs
+
+/root/repo/target/release/deps/libull_data-8cf193f4b3d4b665.rlib: crates/data/src/lib.rs crates/data/src/augment.rs crates/data/src/dataset.rs crates/data/src/synth.rs
+
+/root/repo/target/release/deps/libull_data-8cf193f4b3d4b665.rmeta: crates/data/src/lib.rs crates/data/src/augment.rs crates/data/src/dataset.rs crates/data/src/synth.rs
+
+crates/data/src/lib.rs:
+crates/data/src/augment.rs:
+crates/data/src/dataset.rs:
+crates/data/src/synth.rs:

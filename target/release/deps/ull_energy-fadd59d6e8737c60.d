@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/ull_energy-fadd59d6e8737c60.d: crates/energy/src/lib.rs crates/energy/src/activity.rs crates/energy/src/flops.rs crates/energy/src/model.rs
+
+/root/repo/target/release/deps/libull_energy-fadd59d6e8737c60.rlib: crates/energy/src/lib.rs crates/energy/src/activity.rs crates/energy/src/flops.rs crates/energy/src/model.rs
+
+/root/repo/target/release/deps/libull_energy-fadd59d6e8737c60.rmeta: crates/energy/src/lib.rs crates/energy/src/activity.rs crates/energy/src/flops.rs crates/energy/src/model.rs
+
+crates/energy/src/lib.rs:
+crates/energy/src/activity.rs:
+crates/energy/src/flops.rs:
+crates/energy/src/model.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/ull_grad-fc8b27c608950ae6.d: crates/grad/src/lib.rs crates/grad/src/check.rs crates/grad/src/graph.rs
+
+/root/repo/target/release/deps/libull_grad-fc8b27c608950ae6.rlib: crates/grad/src/lib.rs crates/grad/src/check.rs crates/grad/src/graph.rs
+
+/root/repo/target/release/deps/libull_grad-fc8b27c608950ae6.rmeta: crates/grad/src/lib.rs crates/grad/src/check.rs crates/grad/src/graph.rs
+
+crates/grad/src/lib.rs:
+crates/grad/src/check.rs:
+crates/grad/src/graph.rs:

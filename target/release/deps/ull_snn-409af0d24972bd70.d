@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/ull_snn-409af0d24972bd70.d: crates/snn/src/lib.rs crates/snn/src/encoding.rs crates/snn/src/network.rs crates/snn/src/profile.rs crates/snn/src/stats.rs crates/snn/src/train.rs
+
+/root/repo/target/release/deps/libull_snn-409af0d24972bd70.rlib: crates/snn/src/lib.rs crates/snn/src/encoding.rs crates/snn/src/network.rs crates/snn/src/profile.rs crates/snn/src/stats.rs crates/snn/src/train.rs
+
+/root/repo/target/release/deps/libull_snn-409af0d24972bd70.rmeta: crates/snn/src/lib.rs crates/snn/src/encoding.rs crates/snn/src/network.rs crates/snn/src/profile.rs crates/snn/src/stats.rs crates/snn/src/train.rs
+
+crates/snn/src/lib.rs:
+crates/snn/src/encoding.rs:
+crates/snn/src/network.rs:
+crates/snn/src/profile.rs:
+crates/snn/src/stats.rs:
+crates/snn/src/train.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/ull_tensor-d9d86ef3a84ea06b.d: crates/tensor/src/lib.rs crates/tensor/src/error.rs crates/tensor/src/ops.rs crates/tensor/src/tensor.rs crates/tensor/src/conv.rs crates/tensor/src/init.rs crates/tensor/src/matmul.rs crates/tensor/src/parallel.rs crates/tensor/src/pool.rs crates/tensor/src/stats.rs
+
+/root/repo/target/release/deps/libull_tensor-d9d86ef3a84ea06b.rlib: crates/tensor/src/lib.rs crates/tensor/src/error.rs crates/tensor/src/ops.rs crates/tensor/src/tensor.rs crates/tensor/src/conv.rs crates/tensor/src/init.rs crates/tensor/src/matmul.rs crates/tensor/src/parallel.rs crates/tensor/src/pool.rs crates/tensor/src/stats.rs
+
+/root/repo/target/release/deps/libull_tensor-d9d86ef3a84ea06b.rmeta: crates/tensor/src/lib.rs crates/tensor/src/error.rs crates/tensor/src/ops.rs crates/tensor/src/tensor.rs crates/tensor/src/conv.rs crates/tensor/src/init.rs crates/tensor/src/matmul.rs crates/tensor/src/parallel.rs crates/tensor/src/pool.rs crates/tensor/src/stats.rs
+
+crates/tensor/src/lib.rs:
+crates/tensor/src/error.rs:
+crates/tensor/src/ops.rs:
+crates/tensor/src/tensor.rs:
+crates/tensor/src/conv.rs:
+crates/tensor/src/init.rs:
+crates/tensor/src/matmul.rs:
+crates/tensor/src/parallel.rs:
+crates/tensor/src/pool.rs:
+crates/tensor/src/stats.rs:

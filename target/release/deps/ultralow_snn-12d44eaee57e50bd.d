@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/ultralow_snn-12d44eaee57e50bd.d: src/lib.rs
+
+/root/repo/target/release/deps/libultralow_snn-12d44eaee57e50bd.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libultralow_snn-12d44eaee57e50bd.rmeta: src/lib.rs
+
+src/lib.rs:

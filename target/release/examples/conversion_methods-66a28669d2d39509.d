@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/conversion_methods-66a28669d2d39509.d: examples/conversion_methods.rs
+
+/root/repo/target/release/examples/conversion_methods-66a28669d2d39509: examples/conversion_methods.rs
+
+examples/conversion_methods.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-11921561e4718cb7.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-11921561e4718cb7: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,384 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the harness surface this workspace's `harness = false`
+//! benches use — [`Criterion::bench_function`], benchmark groups with
+//! `bench_with_input`/[`BenchmarkId::from_parameter`], `sample_size`,
+//! `measurement_time`, `warm_up_time`, and the
+//! [`criterion_group!`]/[`criterion_main!`] macros — over a plain
+//! wall-clock timer. No statistics beyond median-of-samples and no HTML
+//! reports; each benchmark prints one line:
+//!
+//! ```text
+//! group/name  time: [median per iter]  (samples × iters)
+//! ```
+//!
+//! When invoked with `--test` (as `cargo test --benches` does), each
+//! benchmark body runs exactly once so CI stays fast.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver; holds the default timing configuration.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    test_mode: bool,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let mut test_mode = false;
+        let mut filter = None;
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--test" => test_mode = true,
+                // Harness flags cargo may forward; all ignored.
+                "--bench" | "--verbose" | "--quiet" | "--noplot" | "--exact" | "--nocapture" => {}
+                "--save-baseline" | "--baseline" | "--measurement-time" | "--sample-size"
+                | "--warm-up-time" => {
+                    let _ = args.next();
+                }
+                other if !other.starts_with('-') && filter.is_none() => {
+                    filter = Some(other.to_string());
+                }
+                _ => {}
+            }
+        }
+        Criterion {
+            sample_size: 50,
+            measurement_time: Duration::from_secs(3),
+            warm_up_time: Duration::from_millis(500),
+            test_mode,
+            filter,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timed samples each benchmark collects.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the total time budget for the timed samples of one benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Sets how long each benchmark warms up before timing.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: None,
+            measurement_time: None,
+            warm_up_time: None,
+        }
+    }
+
+    /// Runs a single stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let config = RunConfig {
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+            warm_up_time: self.warm_up_time,
+            test_mode: self.test_mode,
+        };
+        run_benchmark(name, &self.filter, config, f);
+        self
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and timing overrides.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+    measurement_time: Option<Duration>,
+    warm_up_time: Option<Duration>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the sample count for benchmarks in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Overrides the measurement budget for benchmarks in this group.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = Some(d);
+        self
+    }
+
+    /// Overrides the warm-up time for benchmarks in this group.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = Some(d);
+        self
+    }
+
+    fn run_config(&self) -> RunConfig {
+        RunConfig {
+            sample_size: self.sample_size.unwrap_or(self.criterion.sample_size),
+            measurement_time: self
+                .measurement_time
+                .unwrap_or(self.criterion.measurement_time),
+            warm_up_time: self.warm_up_time.unwrap_or(self.criterion.warm_up_time),
+            test_mode: self.criterion.test_mode,
+        }
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F>(&mut self, name: impl Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, name);
+        let config = self.run_config();
+        run_benchmark(&full, &self.criterion.filter, config, f);
+        self
+    }
+
+    /// Runs one parameterised benchmark within the group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.0);
+        let config = self.run_config();
+        run_benchmark(&full, &self.criterion.filter, config, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// Identifies a parameterised benchmark within a group.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// An id rendered purely from the parameter value.
+    pub fn from_parameter(param: impl Display) -> Self {
+        BenchmarkId(param.to_string())
+    }
+
+    /// An id with a function name and a parameter value.
+    pub fn new(name: impl Display, param: impl Display) -> Self {
+        BenchmarkId(format!("{name}/{param}"))
+    }
+}
+
+/// Passed to benchmark closures; call [`Bencher::iter`] with the code
+/// under test.
+pub struct Bencher {
+    /// Iterations to execute for the current sample.
+    iters: u64,
+    /// Measured duration of the last [`Bencher::iter`] call.
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, preventing the optimiser from deleting its result.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+#[derive(Clone, Copy)]
+struct RunConfig {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    test_mode: bool,
+}
+
+fn run_benchmark<F>(name: &str, filter: &Option<String>, config: RunConfig, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    if let Some(pat) = filter {
+        if !name.contains(pat.as_str()) {
+            return;
+        }
+    }
+    let mut bencher = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    if config.test_mode {
+        f(&mut bencher);
+        println!("{name}: test-mode single pass ok");
+        return;
+    }
+
+    // Warm-up: run with doubling iteration counts until the budget is
+    // spent, which also calibrates iters-per-sample.
+    let warm_start = Instant::now();
+    let mut per_iter = Duration::from_nanos(1);
+    while warm_start.elapsed() < config.warm_up_time {
+        f(&mut bencher);
+        if bencher.elapsed > Duration::ZERO {
+            per_iter = bencher.elapsed / bencher.iters as u32;
+        }
+        if bencher.iters < u64::MAX / 2 {
+            bencher.iters *= 2;
+        }
+    }
+
+    let per_sample = config.measurement_time / config.sample_size as u32;
+    let iters =
+        (per_sample.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, u64::MAX as u128) as u64;
+
+    let mut samples: Vec<Duration> = Vec::with_capacity(config.sample_size);
+    bencher.iters = iters;
+    for _ in 0..config.sample_size {
+        f(&mut bencher);
+        samples.push(bencher.elapsed / iters as u32);
+    }
+    samples.sort_unstable();
+    let median = samples[samples.len() / 2];
+    println!(
+        "{name}  time: [{}]  ({} samples x {} iters)",
+        format_duration(median),
+        config.sample_size,
+        iters
+    );
+}
+
+fn format_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.3} us", ns as f64 / 1_000.0)
+    } else if ns < 1_000_000_000 {
+        format!("{:.3} ms", ns as f64 / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns as f64 / 1_000_000_000.0)
+    }
+}
+
+/// Defines a benchmark group function, in either the positional form
+/// `criterion_group!(benches, target_a, target_b)` or the named form with
+/// a `config = ...;` expression.
+#[macro_export]
+macro_rules! criterion_group {
+    (
+        name = $name:ident;
+        config = $config:expr;
+        targets = $($target:path),+ $(,)?
+    ) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Defines `fn main` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_quietly(config: RunConfig) -> u64 {
+        let mut calls = 0u64;
+        run_benchmark("self_test", &None, config, |b| {
+            b.iter(|| {
+                calls += 1;
+                black_box(calls)
+            })
+        });
+        calls
+    }
+
+    #[test]
+    fn test_mode_runs_once() {
+        let calls = run_quietly(RunConfig {
+            sample_size: 10,
+            measurement_time: Duration::from_millis(50),
+            warm_up_time: Duration::from_millis(10),
+            test_mode: true,
+        });
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn measurement_collects_samples() {
+        let calls = run_quietly(RunConfig {
+            sample_size: 5,
+            measurement_time: Duration::from_millis(20),
+            warm_up_time: Duration::from_millis(5),
+            test_mode: false,
+        });
+        assert!(calls > 5, "expected warm-up plus samples, got {calls}");
+    }
+
+    #[test]
+    fn filter_skips_non_matching() {
+        let mut calls = 0u64;
+        run_benchmark(
+            "group/kernel",
+            &Some("other".to_string()),
+            RunConfig {
+                sample_size: 5,
+                measurement_time: Duration::from_millis(5),
+                warm_up_time: Duration::from_millis(1),
+                test_mode: false,
+            },
+            |b| {
+                b.iter(|| {
+                    calls += 1;
+                })
+            },
+        );
+        assert_eq!(calls, 0);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::from_parameter(4).0, "4");
+        assert_eq!(BenchmarkId::new("fwd", 8).0, "fwd/8");
+    }
+}

@@ -1,0 +1,515 @@
+//! Offline stand-in for `serde`.
+//!
+//! The real serde is unreachable in this build environment (no registry
+//! access), so the workspace vendors a minimal replacement built around an
+//! explicit value tree:
+//!
+//! * [`Value`] — the self-describing data model (JSON-shaped).
+//! * [`Serialize`] — converts `Self` into a [`Value`].
+//! * [`Deserialize`] — reconstructs `Self` from a [`Value`].
+//! * `#[derive(Serialize, Deserialize)]` — re-exported from the companion
+//!   `serde_derive` proc-macro crate (feature `derive`), supporting named
+//!   structs, tuple structs, and externally-tagged enums with unit, tuple,
+//!   and struct variants, plus `#[serde(default)]` on fields.
+//!
+//! The representation matches serde_json's defaults (maps for structs,
+//! `{"Variant": …}` external tagging) so documents written by this shim are
+//! shaped like the ones real serde would produce.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// The self-describing data model every type serialises into.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null` (also the encoding of `Option::None`).
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed (negative) integer.
+    I64(i64),
+    /// Floating point number.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Sequence (arrays, `Vec`, tuples).
+    Seq(Vec<Value>),
+    /// Ordered map (structs, string-keyed maps). Insertion order is
+    /// preserved so emitted documents are deterministic.
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// The map entries if this value is a map.
+    pub fn as_map(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Map(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// The elements if this value is a sequence.
+    pub fn as_seq(&self) -> Option<&[Value]> {
+        match self {
+            Value::Seq(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The string if this value is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Numeric view of the value, if it is any number variant.
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Value::U64(v) => Some(v as f64),
+            Value::I64(v) => Some(v as f64),
+            Value::F64(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Unsigned-integer view of the value, if representable.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Value::U64(v) => Some(v),
+            Value::I64(v) if v >= 0 => Some(v as u64),
+            Value::F64(v) if v >= 0.0 && v.fract() == 0.0 && v <= u64::MAX as f64 => Some(v as u64),
+            _ => None,
+        }
+    }
+
+    /// Signed-integer view of the value, if representable.
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Value::I64(v) => Some(v),
+            Value::U64(v) if v <= i64::MAX as u64 => Some(v as i64),
+            Value::F64(v) if v.fract() == 0.0 && v >= i64::MIN as f64 && v <= i64::MAX as f64 => {
+                Some(v as i64)
+            }
+            _ => None,
+        }
+    }
+
+    /// Short name of the variant, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::U64(_) | Value::I64(_) | Value::F64(_) => "number",
+            Value::Str(_) => "string",
+            Value::Seq(_) => "sequence",
+            Value::Map(_) => "map",
+        }
+    }
+}
+
+/// Looks up a key in the entry list of a [`Value::Map`].
+pub fn map_get<'a>(entries: &'a [(String, Value)], key: &str) -> Option<&'a Value> {
+    entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+/// Deserialisation error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    /// Builds an error with the given message.
+    pub fn custom(msg: impl Into<String>) -> Self {
+        Error { msg: msg.into() }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Conversion into the [`Value`] data model.
+pub trait Serialize {
+    /// Serialises `self` into a [`Value`] tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Reconstruction from the [`Value`] data model.
+pub trait Deserialize: Sized {
+    /// Deserialises `Self` from a [`Value`] tree.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error`] when the value's shape does not match `Self`.
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+/// Deserialization traits, mirroring upstream's module layout.
+pub mod de {
+    /// In this shim every [`Deserialize`](crate::Deserialize) type already
+    /// owns its data, so `DeserializeOwned` is a plain alias.
+    pub use crate::Deserialize as DeserializeOwned;
+}
+
+fn type_err<T>(expected: &str, got: &Value) -> Result<T, Error> {
+    Err(Error::custom(format!(
+        "expected {expected}, got {}",
+        got.kind()
+    )))
+}
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::U64(*self as u64) }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let raw = v.as_u64().ok_or_else(|| Error::custom(
+                    format!("expected unsigned integer, got {}", v.kind())))?;
+                <$t>::try_from(raw).map_err(|_| Error::custom("integer out of range"))
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let v = *self as i64;
+                if v >= 0 { Value::U64(v as u64) } else { Value::I64(v) }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let raw = v.as_i64().ok_or_else(|| Error::custom(
+                    format!("expected integer, got {}", v.kind())))?;
+                <$t>::try_from(raw).map_err(|_| Error::custom("integer out of range"))
+            }
+        }
+    )*};
+}
+
+impl_unsigned!(u8, u16, u32, u64, usize);
+impl_signed!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::F64(*self as f64) }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                v.as_f64()
+                    .map(|x| x as $t)
+                    .ok_or_else(|| Error::custom(
+                        format!("expected number, got {}", v.kind())))
+            }
+        }
+    )*};
+}
+
+impl_float!(f32, f64);
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => type_err("bool", other),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => type_err("string", other),
+        }
+    }
+}
+
+impl Deserialize for &'static str {
+    /// Deserializes by leaking the string. Upstream serde borrows from the
+    /// input instead; this shim's value tree is transient, so a leak is the
+    /// only way to hand out `'static` data. Fine for the workspace's use
+    /// (a handful of report/platform names per process), not for bulk data.
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) => Ok(Box::leak(s.clone().into_boxed_str())),
+            other => type_err("string", other),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().expect("len checked")),
+            other => type_err("single-char string", other),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => Ok(Some(T::from_value(other)?)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Seq(items) => items.iter().map(T::from_value).collect(),
+            other => type_err("sequence", other),
+        }
+    }
+}
+
+impl<T: Deserialize + fmt::Debug, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let items = v
+            .as_seq()
+            .ok_or_else(|| Error::custom("expected sequence for array"))?;
+        if items.len() != N {
+            return Err(Error::custom(format!(
+                "expected array of length {N}, got {}",
+                items.len()
+            )));
+        }
+        let parsed: Vec<T> = items.iter().map(T::from_value).collect::<Result<_, _>>()?;
+        Ok(<[T; N]>::try_from(parsed).expect("length checked above"))
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_value(&self) -> Value {
+        Value::Seq(vec![self.0.to_value(), self.1.to_value()])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let s = v
+            .as_seq()
+            .ok_or_else(|| Error::custom("expected 2-tuple sequence"))?;
+        if s.len() != 2 {
+            return Err(Error::custom(format!(
+                "expected 2 elements, got {}",
+                s.len()
+            )));
+        }
+        Ok((A::from_value(&s[0])?, B::from_value(&s[1])?))
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn to_value(&self) -> Value {
+        Value::Seq(vec![
+            self.0.to_value(),
+            self.1.to_value(),
+            self.2.to_value(),
+        ])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize, C: Deserialize> Deserialize for (A, B, C) {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let s = v
+            .as_seq()
+            .ok_or_else(|| Error::custom("expected 3-tuple sequence"))?;
+        if s.len() != 3 {
+            return Err(Error::custom(format!(
+                "expected 3 elements, got {}",
+                s.len()
+            )));
+        }
+        Ok((
+            A::from_value(&s[0])?,
+            B::from_value(&s[1])?,
+            C::from_value(&s[2])?,
+        ))
+    }
+}
+
+impl<V: Serialize> Serialize for HashMap<String, V> {
+    fn to_value(&self) -> Value {
+        // Sort keys so the output is deterministic run-to-run.
+        let mut keys: Vec<&String> = self.keys().collect();
+        keys.sort();
+        Value::Map(
+            keys.into_iter()
+                .map(|k| (k.clone(), self[k].to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<V: Deserialize> Deserialize for HashMap<String, V> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let m = v.as_map().ok_or_else(|| Error::custom("expected map"))?;
+        m.iter()
+            .map(|(k, val)| Ok((k.clone(), V::from_value(val)?)))
+            .collect()
+    }
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn to_value(&self) -> Value {
+        Value::Map(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let m = v.as_map().ok_or_else(|| Error::custom("expected map"))?;
+        m.iter()
+            .map(|(k, val)| Ok((k.clone(), V::from_value(val)?)))
+            .collect()
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(u32::from_value(&42u32.to_value()).unwrap(), 42);
+        assert_eq!(i64::from_value(&(-9i64).to_value()).unwrap(), -9);
+        assert_eq!(f32::from_value(&1.5f32.to_value()).unwrap(), 1.5);
+        assert!(bool::from_value(&true.to_value()).unwrap());
+        assert_eq!(String::from_value(&"hi".to_value()).unwrap(), "hi");
+    }
+
+    #[test]
+    fn numeric_cross_width_is_lenient() {
+        // An f32 written as an integer-valued number reads back fine.
+        assert_eq!(f32::from_value(&Value::U64(3)).unwrap(), 3.0);
+        assert_eq!(u64::from_value(&Value::F64(3.0)).unwrap(), 3);
+        assert!(u64::from_value(&Value::F64(3.5)).is_err());
+        assert!(u8::from_value(&Value::U64(300)).is_err());
+    }
+
+    #[test]
+    fn option_uses_null() {
+        assert_eq!(Option::<f32>::from_value(&Value::Null).unwrap(), None);
+        assert_eq!(Some(2.0f32).to_value(), Value::F64(2.0));
+        assert_eq!(
+            Option::<f32>::from_value(&Value::F64(2.0)).unwrap(),
+            Some(2.0)
+        );
+    }
+
+    #[test]
+    fn collections_round_trip() {
+        let v = vec![1.0f32, 2.0, 3.0];
+        assert_eq!(Vec::<f32>::from_value(&v.to_value()).unwrap(), v);
+        let arr = [0.1f32, 0.2, 0.3];
+        assert_eq!(<[f32; 3]>::from_value(&arr.to_value()).unwrap(), arr);
+        let tup = (1usize, 2.5f32);
+        assert_eq!(<(usize, f32)>::from_value(&tup.to_value()).unwrap(), tup);
+    }
+
+    #[test]
+    fn map_get_finds_keys() {
+        let m = vec![
+            ("a".to_string(), Value::U64(1)),
+            ("b".to_string(), Value::Null),
+        ];
+        assert_eq!(map_get(&m, "a"), Some(&Value::U64(1)));
+        assert_eq!(map_get(&m, "c"), None);
+    }
+}

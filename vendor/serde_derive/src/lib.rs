@@ -1,0 +1,488 @@
+//! `#[derive(Serialize, Deserialize)]` for the vendored serde shim.
+//!
+//! Implemented directly on `proc_macro::TokenStream` (no syn/quote — the
+//! registry is unreachable in this build environment). Supports the shapes
+//! this workspace actually uses:
+//!
+//! * structs with named fields (honouring `#[serde(default)]`)
+//! * tuple structs (newtype-transparent for arity 1, sequences otherwise)
+//! * enums with unit, tuple, and struct variants, externally tagged like
+//!   serde_json (`"Variant"` / `{"Variant": payload}`)
+//!
+//! Generic types are rejected with a compile error.
+
+use proc_macro::{Delimiter, Group, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` (vendored shim) for a struct or enum.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_serialize)
+}
+
+/// Derives `serde::Deserialize` (vendored shim) for a struct or enum.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_deserialize)
+}
+
+fn expand(input: TokenStream, gen: fn(&Item) -> String) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen(&item)
+            .parse()
+            .expect("serde_derive generated invalid Rust"),
+        Err(msg) => format!("::core::compile_error!({msg:?});")
+            .parse()
+            .expect("compile_error literal"),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Item model
+// ---------------------------------------------------------------------------
+
+struct Item {
+    name: String,
+    kind: Kind,
+}
+
+enum Kind {
+    Struct(Fields),
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+enum Fields {
+    Named(Vec<Field>),
+    Tuple(usize),
+    Unit,
+}
+
+struct Field {
+    name: String,
+    default: bool,
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn is_punct(t: Option<&TokenTree>, c: char) -> bool {
+    matches!(t, Some(TokenTree::Punct(p)) if p.as_char() == c)
+}
+
+fn is_ident(t: Option<&TokenTree>, s: &str) -> bool {
+    matches!(t, Some(TokenTree::Ident(id)) if id.to_string() == s)
+}
+
+/// Skips attributes starting at `i`; returns whether any was
+/// `#[serde(default)]`.
+fn skip_attrs(tokens: &[TokenTree], i: &mut usize) -> bool {
+    let mut has_default = false;
+    while is_punct(tokens.get(*i), '#') {
+        if let Some(TokenTree::Group(g)) = tokens.get(*i + 1) {
+            if attr_is_serde_default(g) {
+                has_default = true;
+            }
+            *i += 2;
+        } else {
+            break;
+        }
+    }
+    has_default
+}
+
+fn attr_is_serde_default(attr: &Group) -> bool {
+    let toks: Vec<TokenTree> = attr.stream().into_iter().collect();
+    if !is_ident(toks.first(), "serde") {
+        return false;
+    }
+    if let Some(TokenTree::Group(inner)) = toks.get(1) {
+        inner
+            .stream()
+            .into_iter()
+            .any(|t| matches!(&t, TokenTree::Ident(id) if id.to_string() == "default"))
+    } else {
+        false
+    }
+}
+
+fn skip_visibility(tokens: &[TokenTree], i: &mut usize) {
+    if is_ident(tokens.get(*i), "pub") {
+        *i += 1;
+        if let Some(TokenTree::Group(g)) = tokens.get(*i) {
+            if g.delimiter() == Delimiter::Parenthesis {
+                *i += 1; // pub(crate) etc.
+            }
+        }
+    }
+}
+
+/// Advances `i` past a type, stopping after the top-level `,` (or at end).
+fn skip_type(tokens: &[TokenTree], i: &mut usize) {
+    let mut angle_depth = 0i32;
+    while *i < tokens.len() {
+        match &tokens[*i] {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                *i += 1;
+                return;
+            }
+            _ => {}
+        }
+        *i += 1;
+    }
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs(&tokens, &mut i);
+    skip_visibility(&tokens, &mut i);
+    let keyword = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected struct/enum keyword, got {other:?}")),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected type name, got {other:?}")),
+    };
+    i += 1;
+    if is_punct(tokens.get(i), '<') {
+        return Err(format!(
+            "serde shim derive does not support generic type `{name}`"
+        ));
+    }
+    match keyword.as_str() {
+        "struct" => {
+            let fields = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Fields::Named(parse_named_fields(g)?)
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(tuple_arity(g))
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+                other => return Err(format!("unexpected struct body: {other:?}")),
+            };
+            Ok(Item {
+                name,
+                kind: Kind::Struct(fields),
+            })
+        }
+        "enum" => {
+            let body = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g,
+                other => return Err(format!("expected enum body, got {other:?}")),
+            };
+            Ok(Item {
+                name,
+                kind: Kind::Enum(parse_variants(body)?),
+            })
+        }
+        other => Err(format!("cannot derive serde impls for `{other}` items")),
+    }
+}
+
+fn parse_named_fields(body: &Group) -> Result<Vec<Field>, String> {
+    let tokens: Vec<TokenTree> = body.stream().into_iter().collect();
+    let mut i = 0;
+    let mut fields = Vec::new();
+    while i < tokens.len() {
+        let default = skip_attrs(&tokens, &mut i);
+        skip_visibility(&tokens, &mut i);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => return Err(format!("expected field name, got {other:?}")),
+        };
+        i += 1;
+        if !is_punct(tokens.get(i), ':') {
+            return Err(format!("expected `:` after field `{name}`"));
+        }
+        i += 1;
+        skip_type(&tokens, &mut i);
+        fields.push(Field { name, default });
+    }
+    Ok(fields)
+}
+
+fn tuple_arity(body: &Group) -> usize {
+    let tokens: Vec<TokenTree> = body.stream().into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut i = 0;
+    let mut arity = 0;
+    while i < tokens.len() {
+        skip_attrs(&tokens, &mut i);
+        skip_visibility(&tokens, &mut i);
+        if i >= tokens.len() {
+            break; // trailing comma
+        }
+        skip_type(&tokens, &mut i);
+        arity += 1;
+    }
+    arity
+}
+
+fn parse_variants(body: &Group) -> Result<Vec<Variant>, String> {
+    let tokens: Vec<TokenTree> = body.stream().into_iter().collect();
+    let mut i = 0;
+    let mut variants = Vec::new();
+    while i < tokens.len() {
+        skip_attrs(&tokens, &mut i);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => return Err(format!("expected variant name, got {other:?}")),
+        };
+        i += 1;
+        let fields = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Fields::Named(parse_named_fields(g)?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Fields::Tuple(tuple_arity(g))
+            }
+            _ => Fields::Unit,
+        };
+        if is_punct(tokens.get(i), ',') {
+            i += 1;
+        }
+        variants.push(Variant { name, fields });
+    }
+    Ok(variants)
+}
+
+// ---------------------------------------------------------------------------
+// Codegen: Serialize
+// ---------------------------------------------------------------------------
+
+fn named_fields_to_map(fields: &[Field], access: &str) -> String {
+    let entries: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "(::std::string::String::from({n:?}), ::serde::Serialize::to_value({access}{n})),",
+                n = f.name
+            )
+        })
+        .collect();
+    format!("::serde::Value::Map(::std::vec![{}])", entries.join(""))
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::Struct(Fields::Named(fields)) => named_fields_to_map(fields, "&self."),
+        Kind::Struct(Fields::Tuple(1)) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Kind::Struct(Fields::Tuple(n)) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i}),"))
+                .collect();
+            format!("::serde::Value::Seq(::std::vec![{}])", items.join(""))
+        }
+        Kind::Struct(Fields::Unit) => "::serde::Value::Null".to_string(),
+        Kind::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.fields {
+                        Fields::Unit => format!(
+                            "{name}::{vn} => ::serde::Value::Str(::std::string::String::from({vn:?})),"
+                        ),
+                        Fields::Tuple(n) => {
+                            let binds: Vec<String> =
+                                (0..*n).map(|i| format!("ref __f{i}")).collect();
+                            let payload = if *n == 1 {
+                                "::serde::Serialize::to_value(__f0)".to_string()
+                            } else {
+                                let items: Vec<String> = (0..*n)
+                                    .map(|i| format!("::serde::Serialize::to_value(__f{i}),"))
+                                    .collect();
+                                format!("::serde::Value::Seq(::std::vec![{}])", items.join(""))
+                            };
+                            format!(
+                                "{name}::{vn}({binds}) => ::serde::Value::Map(::std::vec![\
+                                 (::std::string::String::from({vn:?}), {payload})]),",
+                                binds = binds.join(", ")
+                            )
+                        }
+                        Fields::Named(fields) => {
+                            let binds: Vec<String> = fields
+                                .iter()
+                                .map(|f| format!("{n}: ref __b_{n}", n = f.name))
+                                .collect();
+                            let entries: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(::std::string::String::from({n:?}), \
+                                         ::serde::Serialize::to_value(__b_{n})),",
+                                        n = f.name
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vn} {{ {binds} }} => ::serde::Value::Map(::std::vec![\
+                                 (::std::string::String::from({vn:?}), \
+                                 ::serde::Value::Map(::std::vec![{entries}]))]),",
+                                binds = binds.join(", "),
+                                entries = entries.join("")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match *self {{ {} }}", arms.join(""))
+        }
+    };
+    format!(
+        "#[automatically_derived] impl ::serde::Serialize for {name} {{\
+           fn to_value(&self) -> ::serde::Value {{ {body} }} }}"
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Codegen: Deserialize
+// ---------------------------------------------------------------------------
+
+/// Struct-literal body reading named fields out of map entries bound to `m`.
+fn named_fields_from_map(type_name: &str, fields: &[Field]) -> String {
+    let inits: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            let n = &f.name;
+            let missing = if f.default {
+                "::std::default::Default::default()".to_string()
+            } else {
+                format!(
+                    "return ::std::result::Result::Err(::serde::Error::custom(\
+                     concat!({type_name:?}, \": missing field `\", {n:?}, \"`\")))"
+                )
+            };
+            format!(
+                "{n}: match ::serde::map_get(m, {n:?}) {{\
+                 ::std::option::Option::Some(__v) => ::serde::Deserialize::from_value(__v)?,\
+                 ::std::option::Option::None => {missing}, }},"
+            )
+        })
+        .collect();
+    inits.join("")
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::Struct(Fields::Named(fields)) => {
+            let inits = named_fields_from_map(name, fields);
+            format!(
+                "let m = v.as_map().ok_or_else(|| ::serde::Error::custom(\
+                 concat!(\"struct \", {name:?}, \": expected map\")))?;\
+                 ::std::result::Result::Ok({name} {{ {inits} }})"
+            )
+        }
+        Kind::Struct(Fields::Tuple(1)) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))")
+        }
+        Kind::Struct(Fields::Tuple(n)) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&s[{i}])?,"))
+                .collect();
+            format!(
+                "let s = v.as_seq().ok_or_else(|| ::serde::Error::custom(\
+                 concat!(\"tuple struct \", {name:?}, \": expected sequence\")))?;\
+                 if s.len() != {n} {{ return ::std::result::Result::Err(\
+                 ::serde::Error::custom(\"tuple struct arity mismatch\")); }}\
+                 ::std::result::Result::Ok({name}({elems}))",
+                elems = elems.join("")
+            )
+        }
+        Kind::Struct(Fields::Unit) => {
+            format!("::std::result::Result::Ok({name})")
+        }
+        Kind::Enum(variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.fields, Fields::Unit))
+                .map(|v| {
+                    format!(
+                        "{vn:?} => ::std::result::Result::Ok({name}::{vn}),",
+                        vn = v.name
+                    )
+                })
+                .collect();
+            let tagged_arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.fields {
+                        Fields::Unit => {
+                            format!("{vn:?} => ::std::result::Result::Ok({name}::{vn}),")
+                        }
+                        Fields::Tuple(1) => format!(
+                            "{vn:?} => ::std::result::Result::Ok(\
+                             {name}::{vn}(::serde::Deserialize::from_value(__payload)?)),"
+                        ),
+                        Fields::Tuple(n) => {
+                            let elems: Vec<String> = (0..*n)
+                                .map(|i| format!("::serde::Deserialize::from_value(&__s[{i}])?,"))
+                                .collect();
+                            format!(
+                                "{vn:?} => {{\
+                                 let __s = __payload.as_seq().ok_or_else(|| \
+                                 ::serde::Error::custom(\"expected sequence payload\"))?;\
+                                 if __s.len() != {n} {{ return ::std::result::Result::Err(\
+                                 ::serde::Error::custom(\"variant arity mismatch\")); }}\
+                                 ::std::result::Result::Ok({name}::{vn}({elems})) }},",
+                                elems = elems.join("")
+                            )
+                        }
+                        Fields::Named(fields) => {
+                            let inits = named_fields_from_map(vn, fields);
+                            format!(
+                                "{vn:?} => {{\
+                                 let m = __payload.as_map().ok_or_else(|| \
+                                 ::serde::Error::custom(\"expected map payload\"))?;\
+                                 ::std::result::Result::Ok({name}::{vn} {{ {inits} }}) }},"
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "match v {{\
+                 ::serde::Value::Str(__s) => match __s.as_str() {{\
+                   {unit_arms}\
+                   __other => ::std::result::Result::Err(::serde::Error::custom(\
+                     ::std::format!(concat!(\"unknown \", {name:?}, \" variant `{{}}`\"), __other))),\
+                 }},\
+                 ::serde::Value::Map(__entries) if __entries.len() == 1 => {{\
+                   let (__tag, __payload) = &__entries[0];\
+                   match __tag.as_str() {{\
+                     {tagged_arms}\
+                     __other => ::std::result::Result::Err(::serde::Error::custom(\
+                       ::std::format!(concat!(\"unknown \", {name:?}, \" variant `{{}}`\"), __other))),\
+                   }}\
+                 }},\
+                 __other => ::std::result::Result::Err(::serde::Error::custom(\
+                   concat!(\"enum \", {name:?}, \": expected string or single-entry map\"))),\
+                 }}",
+                unit_arms = unit_arms.join(""),
+                tagged_arms = tagged_arms.join("")
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived] impl ::serde::Deserialize for {name} {{\
+           fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\
+             {body} }} }}"
+    )
+}

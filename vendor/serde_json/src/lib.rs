@@ -1,0 +1,486 @@
+//! Offline stand-in for `serde_json`.
+//!
+//! Serializes the vendored [`serde::Value`] tree to JSON (compact and
+//! pretty with two-space indent, matching serde_json's formatting) and
+//! parses JSON back into it with a recursive-descent parser. Floats print
+//! through Rust's shortest round-trip `Display` with a `.0` suffix when
+//! the output would otherwise look integral, exactly like serde_json.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+
+pub use serde::Value;
+use serde::{Deserialize, Serialize};
+
+/// Error produced by serialization or parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    fn new(msg: impl Into<String>) -> Self {
+        Error { msg: msg.into() }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "JSON error: {}", self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::Error> for Error {
+    fn from(e: serde::Error) -> Self {
+        Error::new(e.to_string())
+    }
+}
+
+/// Serializes `value` as a compact JSON string.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), None, 0);
+    Ok(out)
+}
+
+/// Serializes `value` as pretty-printed JSON (two-space indent).
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), Some(2), 0);
+    Ok(out)
+}
+
+/// Parses a JSON document into any [`Deserialize`] type.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
+    let value = parse_value_str(s)?;
+    Ok(T::from_value(&value)?)
+}
+
+/// Converts any serializable value into a [`Value`] tree.
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Result<Value, Error> {
+    Ok(value.to_value())
+}
+
+/// Converts a [`Value`] tree into a concrete deserializable type.
+pub fn from_value<T: Deserialize>(value: &Value) -> Result<T, Error> {
+    Ok(T::from_value(value)?)
+}
+
+// ---------------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------------
+
+fn write_value(out: &mut String, v: &Value, indent: Option<usize>, depth: usize) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::U64(n) => out.push_str(&n.to_string()),
+        Value::I64(n) => out.push_str(&n.to_string()),
+        Value::F64(x) => write_f64(out, *x),
+        Value::Str(s) => write_escaped(out, s),
+        Value::Seq(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_value(out, item, indent, depth + 1);
+            }
+            newline_indent(out, indent, depth);
+            out.push(']');
+        }
+        Value::Map(entries) => {
+            if entries.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (key, item)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_escaped(out, key);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, item, indent, depth + 1);
+            }
+            newline_indent(out, indent, depth);
+            out.push('}');
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>, depth: usize) {
+    if let Some(width) = indent {
+        out.push('\n');
+        for _ in 0..width * depth {
+            out.push(' ');
+        }
+    }
+}
+
+fn write_f64(out: &mut String, x: f64) {
+    if !x.is_finite() {
+        // serde_json has no representation for NaN/infinities.
+        out.push_str("null");
+        return;
+    }
+    let s = x.to_string();
+    out.push_str(&s);
+    // serde_json always keeps floats visually float-typed.
+    if !s.contains(['.', 'e', 'E']) {
+        out.push_str(".0");
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0C}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+fn parse_value_str(s: &str) -> Result<Value, Error> {
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.parse_value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error::new(format!("trailing characters at byte {}", p.pos)));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.bump() == Some(b) {
+            Ok(())
+        } else {
+            Err(Error::new(format!(
+                "expected `{}` at byte {}",
+                b as char,
+                self.pos.saturating_sub(1)
+            )))
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<(), Error> {
+        if self.bytes[self.pos..].starts_with(kw.as_bytes()) {
+            self.pos += kw.len();
+            Ok(())
+        } else {
+            Err(Error::new(format!("expected `{kw}` at byte {}", self.pos)))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, Error> {
+        match self.peek() {
+            Some(b'n') => {
+                self.expect_keyword("null")?;
+                Ok(Value::Null)
+            }
+            Some(b't') => {
+                self.expect_keyword("true")?;
+                Ok(Value::Bool(true))
+            }
+            Some(b'f') => {
+                self.expect_keyword("false")?;
+                Ok(Value::Bool(false))
+            }
+            Some(b'"') => Ok(Value::Str(self.parse_string()?)),
+            Some(b'[') => self.parse_array(),
+            Some(b'{') => self.parse_object(),
+            Some(b'-' | b'0'..=b'9') => self.parse_number(),
+            other => Err(Error::new(format!(
+                "unexpected input {:?} at byte {}",
+                other.map(|b| b as char),
+                self.pos
+            ))),
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Seq(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b']') => return Ok(Value::Seq(items)),
+                _ => return Err(Error::new("expected `,` or `]` in array")),
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut entries = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Map(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.parse_value()?;
+            entries.push((key, value));
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b'}') => return Ok(Value::Map(entries)),
+                _ => return Err(Error::new("expected `,` or `}` in object")),
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                None => return Err(Error::new("unterminated string")),
+                Some(b'"') => return Ok(out),
+                Some(b'\\') => match self.bump() {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'b') => out.push('\u{08}'),
+                    Some(b'f') => out.push('\u{0C}'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'u') => {
+                        let hi = self.parse_hex4()?;
+                        let code = if (0xD800..0xDC00).contains(&hi) {
+                            // Surrogate pair.
+                            self.expect(b'\\')?;
+                            self.expect(b'u')?;
+                            let lo = self.parse_hex4()?;
+                            if !(0xDC00..0xE000).contains(&lo) {
+                                return Err(Error::new("invalid low surrogate"));
+                            }
+                            0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00)
+                        } else {
+                            hi
+                        };
+                        out.push(
+                            char::from_u32(code)
+                                .ok_or_else(|| Error::new("invalid unicode escape"))?,
+                        );
+                    }
+                    other => {
+                        return Err(Error::new(format!(
+                            "invalid escape {:?}",
+                            other.map(|b| b as char)
+                        )))
+                    }
+                },
+                Some(b) if b < 0x20 => {
+                    return Err(Error::new("control character in string"));
+                }
+                Some(b) => {
+                    // Re-decode multi-byte UTF-8 starting at this byte.
+                    if b < 0x80 {
+                        out.push(b as char);
+                    } else {
+                        let start = self.pos - 1;
+                        let len = utf8_len(b)?;
+                        let end = start + len;
+                        let chunk = self
+                            .bytes
+                            .get(start..end)
+                            .ok_or_else(|| Error::new("truncated UTF-8 sequence"))?;
+                        let s = std::str::from_utf8(chunk)
+                            .map_err(|_| Error::new("invalid UTF-8 in string"))?;
+                        out.push_str(s);
+                        self.pos = end;
+                    }
+                }
+            }
+        }
+    }
+
+    fn parse_hex4(&mut self) -> Result<u32, Error> {
+        let mut code = 0u32;
+        for _ in 0..4 {
+            let b = self
+                .bump()
+                .ok_or_else(|| Error::new("truncated \\u escape"))?;
+            let digit = (b as char)
+                .to_digit(16)
+                .ok_or_else(|| Error::new("invalid hex digit in \\u escape"))?;
+            code = code * 16 + digit;
+        }
+        Ok(code)
+    }
+
+    fn parse_number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') {
+            is_float = true;
+            self.pos += 1;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            is_float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text =
+            std::str::from_utf8(&self.bytes[start..self.pos]).expect("number slice is ASCII");
+        if !is_float {
+            if let Ok(n) = text.parse::<u64>() {
+                return Ok(Value::U64(n));
+            }
+            if let Ok(n) = text.parse::<i64>() {
+                return Ok(Value::I64(n));
+            }
+        }
+        text.parse::<f64>()
+            .map(Value::F64)
+            .map_err(|_| Error::new(format!("invalid number `{text}`")))
+    }
+}
+
+fn utf8_len(first: u8) -> Result<usize, Error> {
+    match first {
+        0xC0..=0xDF => Ok(2),
+        0xE0..=0xEF => Ok(3),
+        0xF0..=0xF7 => Ok(4),
+        _ => Err(Error::new("invalid UTF-8 lead byte")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_scalars_and_containers() {
+        let v = Value::Map(vec![
+            ("a".to_string(), Value::U64(7)),
+            ("b".to_string(), Value::F64(0.25)),
+            (
+                "c".to_string(),
+                Value::Seq(vec![Value::Bool(true), Value::Null, Value::I64(-3)]),
+            ),
+            ("d".to_string(), Value::Str("x\"y\\z\n".to_string())),
+        ]);
+        let text = to_string(&v).unwrap();
+        let back: Value = from_str(&text).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn pretty_uses_two_space_indent_and_colon_space() {
+        let v = Value::Map(vec![("x".to_string(), Value::U64(7))]);
+        let text = to_string_pretty(&v).unwrap();
+        assert_eq!(text, "{\n  \"x\": 7\n}");
+    }
+
+    #[test]
+    fn floats_round_trip_exactly() {
+        for &x in &[0.1f64, 1.0, -2.5e-8, 1e20, f64::MIN_POSITIVE, 123456.789] {
+            let text = to_string(&Value::F64(x)).unwrap();
+            match from_str::<Value>(&text).unwrap() {
+                Value::F64(y) => assert_eq!(x, y, "text {text}"),
+                other => panic!("expected float, got {other:?} from {text}"),
+            }
+        }
+        // Integral floats keep a `.0` marker like serde_json.
+        assert_eq!(to_string(&Value::F64(7.0)).unwrap(), "7.0");
+        assert_eq!(to_string(&Value::F64(f64::NAN)).unwrap(), "null");
+    }
+
+    #[test]
+    fn parses_unicode_escapes() {
+        let v: Value = from_str(r#""aé😀b""#).unwrap();
+        assert_eq!(v, Value::Str("a\u{e9}\u{1F600}b".to_string()));
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        assert!(from_str::<Value>("{\"a\": }").is_err());
+        assert!(from_str::<Value>("[1, 2").is_err());
+        assert!(from_str::<Value>("01x").is_err());
+        assert!(from_str::<Value>("\"abc").is_err());
+    }
+}
