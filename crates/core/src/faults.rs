@@ -1,0 +1,155 @@
+//! Deterministic fault injection for the recoverable pipeline.
+//!
+//! A [`FaultPlan`] is a script of failures to inject at exact, reproducible
+//! points of a pipeline run — "poison one gradient in epoch 2 of SGL",
+//! "crash before the epoch-4 checkpoint commits", "corrupt the newest
+//! checkpoint file on disk". The recovery runner
+//! ([`run_pipeline_recoverable`](crate::run_pipeline_recoverable) and
+//! friends) consults the plan at each injection site; every fault fires
+//! **at most once** and is consumed when it does, so a resumed process with
+//! a fresh (empty) plan replays the same epochs cleanly.
+//!
+//! Because the whole pipeline is bit-deterministic (seeded RNG, fixed
+//! reduction orders), a fault plan turns "what happens if the job dies
+//! right here?" into an ordinary unit test: inject, observe the typed
+//! error, resume, and assert the final model is bit-identical to an
+//! uninterrupted run.
+
+use crate::recovery::PipelinePhase;
+
+/// What to inject at a fault point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Poison one gradient element with NaN after the backward pass of the
+    /// given 0-based batch, before the optimizer step. Exercises the
+    /// numeric-failure detection and rollback-with-LR-backoff path.
+    NanGradient {
+        /// 0-based batch index within the epoch at which to poison.
+        batch: usize,
+    },
+    /// Simulate a process crash *before* the checkpoint for this epoch is
+    /// committed: the runner returns
+    /// [`PipelineError::SimulatedCrash`](crate::PipelineError::SimulatedCrash)
+    /// and the on-disk state still points at the previous checkpoint.
+    CrashBeforeCommit,
+    /// Commit the checkpoint for this epoch, then flip a byte in the middle
+    /// of the freshly written file and crash. Exercises
+    /// [`load_latest`](ull_nn::load_latest)'s skip-torn-files behaviour on
+    /// resume.
+    CorruptCheckpoint,
+}
+
+/// One scheduled fault: *what* to inject and *where*.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultPoint {
+    /// Pipeline phase in which to fire.
+    pub phase: PipelinePhase,
+    /// 0-based epoch within the phase at which to fire.
+    pub epoch: usize,
+    /// The failure to inject.
+    pub kind: FaultKind,
+}
+
+/// A deterministic script of faults, consumed as the pipeline hits each
+/// injection site.
+///
+/// Duplicate points are allowed — e.g. scheduling the same `NanGradient`
+/// three times makes the epoch fail on every retry, which is how the tests
+/// exhaust `max_retries` and provoke
+/// [`TrainError::Diverged`](ull_nn::TrainError::Diverged).
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    points: Vec<FaultPoint>,
+}
+
+impl FaultPlan {
+    /// An empty plan: no faults, the pipeline runs normally.
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Schedules `kind` to fire at `(phase, epoch)`. Builder-style.
+    pub fn with(mut self, phase: PipelinePhase, epoch: usize, kind: FaultKind) -> Self {
+        self.points.push(FaultPoint { phase, epoch, kind });
+        self
+    }
+
+    /// Number of faults still pending.
+    pub fn pending(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Consumes and returns the batch index of a pending
+    /// [`FaultKind::NanGradient`] at `(phase, epoch)`, if any.
+    pub(crate) fn take_nan(&mut self, phase: PipelinePhase, epoch: usize) -> Option<usize> {
+        let idx = self.points.iter().position(|p| {
+            p.phase == phase && p.epoch == epoch && matches!(p.kind, FaultKind::NanGradient { .. })
+        })?;
+        match self.points.remove(idx).kind {
+            FaultKind::NanGradient { batch } => Some(batch),
+            _ => unreachable!(),
+        }
+    }
+
+    /// Consumes a pending [`FaultKind::CrashBeforeCommit`] at
+    /// `(phase, epoch)`; returns whether one fired.
+    pub(crate) fn take_crash(&mut self, phase: PipelinePhase, epoch: usize) -> bool {
+        self.take_kind(phase, epoch, FaultKind::CrashBeforeCommit)
+    }
+
+    /// Consumes a pending [`FaultKind::CorruptCheckpoint`] at
+    /// `(phase, epoch)`; returns whether one fired.
+    pub(crate) fn take_corrupt(&mut self, phase: PipelinePhase, epoch: usize) -> bool {
+        self.take_kind(phase, epoch, FaultKind::CorruptCheckpoint)
+    }
+
+    fn take_kind(&mut self, phase: PipelinePhase, epoch: usize, kind: FaultKind) -> bool {
+        match self
+            .points
+            .iter()
+            .position(|p| p.phase == phase && p.epoch == epoch && p.kind == kind)
+        {
+            Some(idx) => {
+                self.points.remove(idx);
+                true
+            }
+            None => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn faults_fire_once_and_are_consumed() {
+        let mut plan = FaultPlan::none()
+            .with(
+                PipelinePhase::DnnTrain,
+                1,
+                FaultKind::NanGradient { batch: 3 },
+            )
+            .with(PipelinePhase::Sgl, 0, FaultKind::CrashBeforeCommit);
+        assert_eq!(plan.pending(), 2);
+        // Wrong site: nothing fires.
+        assert_eq!(plan.take_nan(PipelinePhase::DnnTrain, 0), None);
+        assert!(!plan.take_crash(PipelinePhase::DnnTrain, 1));
+        // Right site: fires exactly once.
+        assert_eq!(plan.take_nan(PipelinePhase::DnnTrain, 1), Some(3));
+        assert_eq!(plan.take_nan(PipelinePhase::DnnTrain, 1), None);
+        assert!(plan.take_crash(PipelinePhase::Sgl, 0));
+        assert!(!plan.take_crash(PipelinePhase::Sgl, 0));
+        assert_eq!(plan.pending(), 0);
+    }
+
+    #[test]
+    fn duplicate_faults_fire_on_each_retry() {
+        let mut plan = FaultPlan::none()
+            .with(PipelinePhase::Sgl, 2, FaultKind::NanGradient { batch: 0 })
+            .with(PipelinePhase::Sgl, 2, FaultKind::NanGradient { batch: 0 });
+        assert_eq!(plan.take_nan(PipelinePhase::Sgl, 2), Some(0));
+        assert_eq!(plan.take_nan(PipelinePhase::Sgl, 2), Some(0));
+        assert_eq!(plan.take_nan(PipelinePhase::Sgl, 2), None);
+    }
+}

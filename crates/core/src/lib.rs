@@ -46,7 +46,9 @@ pub mod algorithm1;
 pub mod analysis;
 pub mod convert;
 pub mod depth;
+pub mod faults;
 pub mod pipeline;
+pub mod recovery;
 pub mod summary;
 
 pub use activation::{dnn_activation, snn_staircase, StaircaseConfig};
@@ -59,5 +61,11 @@ pub use analysis::{
 pub use convert::convert_with_budget;
 pub use convert::{convert, ConversionMethod, ConvertError};
 pub use depth::{depth_error_report, DepthErrorReport};
+pub use faults::{FaultKind, FaultPlan, FaultPoint};
 pub use pipeline::{run_pipeline, PipelineConfig, PipelineReport};
+pub use recovery::{
+    resume_pipeline, resume_pipeline_with_faults, run_or_resume_pipeline, run_pipeline_recoverable,
+    run_pipeline_recoverable_with_faults, PipelineCheckpoint, PipelineError, PipelinePhase,
+    RecoveryConfig, RecoveryEvent,
+};
 pub use summary::ConversionSummary;

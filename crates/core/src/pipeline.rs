@@ -82,6 +82,11 @@ pub struct PipelineReport {
     pub snn_seconds: f64,
     /// Time steps used.
     pub time_steps: usize,
+    /// Recovery actions taken during the run (rollbacks, retries) — empty
+    /// for the plain [`run_pipeline`] and for healthy recoverable runs.
+    /// Defaults to empty when reading reports written by older versions.
+    #[serde(default)]
+    pub recovery_events: Vec<String>,
 }
 
 /// Trains the DNN, converts it, fine-tunes the SNN, and reports the three
@@ -156,6 +161,7 @@ pub fn run_pipeline(
             dnn_seconds,
             snn_seconds,
             time_steps: cfg.time_steps,
+            recovery_events: Vec::new(),
         },
         best_snn,
     ))

@@ -1,0 +1,722 @@
+//! Crash-safe, resumable execution of the hybrid pipeline.
+//!
+//! [`run_pipeline_recoverable`] runs the same *train DNN → convert → SGL
+//! fine-tune* pipeline as [`run_pipeline`](crate::run_pipeline), but commits
+//! an atomic, checksummed checkpoint (see [`ull_nn::save_with_meta`]) every
+//! `every_n_epochs` epochs, carrying the full run state: networks with
+//! momentum buffers, phase/epoch cursor, accuracy bookkeeping and the raw
+//! RNG state. Because every source of randomness is the persisted
+//! [`StdRng`] and every reduction order is fixed, a run that is killed and
+//! resumed with [`resume_pipeline`] produces **bit-identical** results to
+//! one that was never interrupted.
+//!
+//! Numeric failures (NaN/Inf loss or gradients, loss explosions) are
+//! detected by the checked training loops *before* they can poison the
+//! parameters; the runner rolls back to the last good checkpoint, halves
+//! the learning rate, and retries — up to
+//! [`RecoveryConfig::max_retries`] times, after which it surfaces
+//! [`TrainError::Diverged`].
+//!
+//! The [`FaultPlan`](crate::FaultPlan) hooks let tests inject each failure
+//! mode at an exact epoch, deterministically.
+
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::PathBuf;
+
+use rand::rngs::StdRng;
+use serde::{Deserialize, Serialize};
+use ull_data::Dataset;
+use ull_nn::{
+    evaluate, load_latest, save_with_meta, train_epoch_checked, train_epoch_with_hook,
+    CheckpointError, CheckpointMeta, LrSchedule, Network, Sgd, TrainConfig, TrainError,
+    CHECKPOINT_EXT,
+};
+use ull_snn::{
+    evaluate_snn, train_snn_epoch_checked, train_snn_epoch_with_hook, SnnNetwork, SnnSgd,
+    SnnTrainConfig,
+};
+
+use crate::convert::{convert, ConvertError};
+use crate::faults::FaultPlan;
+use crate::pipeline::{PipelineConfig, PipelineReport};
+use crate::LayerScaling;
+
+/// The two trained phases of the pipeline (conversion is a single
+/// deterministic step committed together with the SGL phase start).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PipelinePhase {
+    /// Phase (a): source DNN training.
+    DnnTrain,
+    /// Phase (c): surrogate-gradient fine-tuning of the converted SNN.
+    Sgl,
+}
+
+impl PipelinePhase {
+    /// Stable label stored in checkpoint metadata.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            PipelinePhase::DnnTrain => "dnn-train",
+            PipelinePhase::Sgl => "sgl",
+        }
+    }
+
+    /// Ordinal used in checkpoint file names so lexicographic order is
+    /// chronological order.
+    pub fn index(self) -> usize {
+        match self {
+            PipelinePhase::DnnTrain => 0,
+            PipelinePhase::Sgl => 1,
+        }
+    }
+
+    /// Inverse of [`PipelinePhase::as_str`].
+    pub fn from_label(label: &str) -> Option<Self> {
+        match label {
+            "dnn-train" => Some(PipelinePhase::DnnTrain),
+            "sgl" => Some(PipelinePhase::Sgl),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for PipelinePhase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Checkpointing and retry policy of the recoverable runner.
+#[derive(Debug, Clone)]
+pub struct RecoveryConfig {
+    /// Directory for checkpoint files (created if missing).
+    pub checkpoint_dir: PathBuf,
+    /// Commit a checkpoint every N successful epochs (also always at each
+    /// phase start and phase end). Must be ≥ 1.
+    pub every_n_epochs: usize,
+    /// Numeric-failure budget: total rollback-and-retry attempts allowed
+    /// across the whole run before giving up with
+    /// [`TrainError::Diverged`].
+    pub max_retries: usize,
+    /// Keep at most this many checkpoint files (oldest pruned first, after
+    /// each successful commit). Must be ≥ 1; 2+ is recommended so a
+    /// corrupted newest file still leaves a fallback.
+    pub keep_last: usize,
+    /// A finite loss larger than `explosion_factor ×` the previous epoch's
+    /// loss is treated as a numeric failure (rollback + LR backoff), not
+    /// just a bad epoch.
+    pub explosion_factor: f32,
+}
+
+impl RecoveryConfig {
+    /// Sensible defaults: checkpoint every epoch, 3 retries, keep 3 files,
+    /// 10× loss-explosion threshold.
+    pub fn new(checkpoint_dir: impl Into<PathBuf>) -> Self {
+        RecoveryConfig {
+            checkpoint_dir: checkpoint_dir.into(),
+            every_n_epochs: 1,
+            max_retries: 3,
+            keep_last: 3,
+            explosion_factor: 10.0,
+        }
+    }
+}
+
+/// One recovery action taken during a run, in `Display`-string form
+/// (typed errors like a NaN loss have no faithful JSON representation, so
+/// the log keeps human-readable descriptions instead).
+pub type RecoveryEvent = String;
+
+/// Errors surfaced by the recoverable pipeline runner.
+#[derive(Debug)]
+pub enum PipelineError {
+    /// DNN→SNN conversion failed.
+    Convert(ConvertError),
+    /// A checkpoint could not be written, or no valid checkpoint was found
+    /// when one was required (resume, rollback).
+    Checkpoint(CheckpointError),
+    /// Training failed numerically and the retry budget is exhausted
+    /// ([`TrainError::Diverged`]).
+    Train(TrainError),
+    /// A [`FaultPlan`](crate::FaultPlan) crash fault fired: the run stopped
+    /// as if the process had been killed at that point. Resume with
+    /// [`resume_pipeline`] to continue.
+    SimulatedCrash {
+        /// Phase in which the simulated crash fired.
+        phase: PipelinePhase,
+        /// Epoch (0-based, within the phase) at which it fired.
+        epoch: usize,
+    },
+}
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PipelineError::Convert(e) => write!(f, "conversion failed: {e}"),
+            PipelineError::Checkpoint(e) => write!(f, "checkpoint failure: {e}"),
+            PipelineError::Train(e) => write!(f, "training failure: {e}"),
+            PipelineError::SimulatedCrash { phase, epoch } => {
+                write!(f, "simulated crash in phase {phase} at epoch {epoch}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PipelineError::Convert(e) => Some(e),
+            PipelineError::Checkpoint(e) => Some(e),
+            PipelineError::Train(e) => Some(e),
+            PipelineError::SimulatedCrash { .. } => None,
+        }
+    }
+}
+
+impl From<ConvertError> for PipelineError {
+    fn from(e: ConvertError) -> Self {
+        PipelineError::Convert(e)
+    }
+}
+
+impl From<CheckpointError> for PipelineError {
+    fn from(e: CheckpointError) -> Self {
+        PipelineError::Checkpoint(e)
+    }
+}
+
+/// The complete persisted state of a recoverable run — everything beyond
+/// the envelope metadata (phase, epoch, RNG state) needed to continue
+/// bit-identically: networks *with their momentum buffers*, accuracy
+/// bookkeeping, retry counters and the recovery log.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PipelineCheckpoint {
+    /// Source DNN (training state included via `Param`).
+    pub dnn: Network,
+    /// Current SNN during SGL (absent while still in DNN training).
+    pub snn: Option<SnnNetwork>,
+    /// Best-so-far SNN by test accuracy.
+    pub best_snn: Option<SnnNetwork>,
+    /// Best-so-far SNN test accuracy.
+    pub best_acc: f32,
+    /// Phase (a) result, once known.
+    pub dnn_accuracy: f32,
+    /// Phase (b) result, once known.
+    pub converted_accuracy: f32,
+    /// Per-layer conversion scalings, once known.
+    pub scalings: Vec<LayerScaling>,
+    /// Multiplier on the LR schedule, halved on each numeric rollback.
+    pub lr_backoff: f32,
+    /// Rollback-and-retry attempts consumed so far.
+    pub retries_used: usize,
+    /// Previous epoch's training loss (negative when unknown) — baseline
+    /// for the loss-explosion check.
+    pub last_loss: f32,
+    /// Accumulated wall-clock seconds of DNN training.
+    pub dnn_seconds: f64,
+    /// Accumulated wall-clock seconds of SGL fine-tuning.
+    pub snn_seconds: f64,
+    /// Recovery log so far (survives crashes).
+    #[serde(default)]
+    pub events: Vec<RecoveryEvent>,
+}
+
+/// In-memory run cursor: the checkpoint payload plus the phase/epoch
+/// cursor that lives in the envelope metadata.
+struct RunState {
+    phase: PipelinePhase,
+    epoch: usize,
+    ckpt: PipelineCheckpoint,
+}
+
+impl RunState {
+    fn fresh(dnn: &Network) -> Self {
+        RunState {
+            phase: PipelinePhase::DnnTrain,
+            epoch: 0,
+            ckpt: PipelineCheckpoint {
+                dnn: dnn.clone(),
+                snn: None,
+                best_snn: None,
+                best_acc: 0.0,
+                dnn_accuracy: 0.0,
+                converted_accuracy: 0.0,
+                scalings: Vec::new(),
+                lr_backoff: 1.0,
+                retries_used: 0,
+                last_loss: -1.0,
+                dnn_seconds: 0.0,
+                snn_seconds: 0.0,
+                events: Vec::new(),
+            },
+        }
+    }
+}
+
+/// Checkpoint file name: zero-padded phase ordinal and epoch so that
+/// lexicographic order equals chronological order (the contract
+/// [`ull_nn::load_latest`] relies on).
+fn checkpoint_name(phase: PipelinePhase, epoch: usize) -> String {
+    format!("ckpt-{}-{:05}.{}", phase.index(), epoch, CHECKPOINT_EXT)
+}
+
+fn commit(state: &RunState, rcfg: &RecoveryConfig, rng: &StdRng) -> Result<PathBuf, PipelineError> {
+    let meta = CheckpointMeta {
+        phase: state.phase.as_str().to_string(),
+        epoch: state.epoch,
+        rng_state: rng.state(),
+    };
+    let path = rcfg
+        .checkpoint_dir
+        .join(checkpoint_name(state.phase, state.epoch));
+    save_with_meta(&state.ckpt, &meta, &path)?;
+    prune(rcfg);
+    Ok(path)
+}
+
+/// Best-effort pruning of checkpoints beyond `keep_last` (a failed unlink
+/// must not kill a healthy training run).
+fn prune(rcfg: &RecoveryConfig) {
+    let Ok(entries) = fs::read_dir(&rcfg.checkpoint_dir) else {
+        return;
+    };
+    let mut names: Vec<PathBuf> = entries
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.extension().map(|x| x == CHECKPOINT_EXT).unwrap_or(false))
+        .collect();
+    names.sort();
+    names.reverse(); // newest first
+    for old in names.iter().skip(rcfg.keep_last.max(1)) {
+        let _ = fs::remove_file(old);
+    }
+}
+
+/// Restores the run cursor and RNG from a loaded checkpoint.
+fn restore(
+    ckpt: PipelineCheckpoint,
+    meta: &CheckpointMeta,
+    dnn: &mut Network,
+    rng: &mut StdRng,
+) -> Result<RunState, PipelineError> {
+    let phase = PipelinePhase::from_label(&meta.phase).ok_or_else(|| {
+        PipelineError::Checkpoint(CheckpointError::BadPayload {
+            reason: format!("unknown pipeline phase label `{}`", meta.phase),
+        })
+    })?;
+    if meta.rng_state.iter().all(|&w| w == 0) {
+        return Err(PipelineError::Checkpoint(CheckpointError::BadPayload {
+            reason: "checkpoint carries no RNG state (all zeros)".to_string(),
+        }));
+    }
+    if phase == PipelinePhase::Sgl && ckpt.snn.is_none() {
+        return Err(PipelineError::Checkpoint(CheckpointError::BadPayload {
+            reason: "SGL-phase checkpoint is missing the SNN".to_string(),
+        }));
+    }
+    *dnn = ckpt.dnn.clone();
+    *rng = StdRng::from_state(meta.rng_state);
+    Ok(RunState {
+        phase,
+        epoch: meta.epoch,
+        ckpt,
+    })
+}
+
+/// Rolls the run back to the last good checkpoint after a numeric failure,
+/// halving the LR backoff and consuming one retry.
+fn rollback(
+    state: &mut RunState,
+    dnn: &mut Network,
+    rcfg: &RecoveryConfig,
+    rng: &mut StdRng,
+    reason: String,
+) -> Result<(), PipelineError> {
+    let retries = state.ckpt.retries_used + 1;
+    if retries > rcfg.max_retries {
+        return Err(PipelineError::Train(TrainError::Diverged {
+            phase: state.phase.as_str().to_string(),
+            epoch: state.epoch,
+            retries: rcfg.max_retries,
+        }));
+    }
+    let (ckpt, meta, path) = load_latest::<PipelineCheckpoint>(&rcfg.checkpoint_dir)?;
+    let backoff = state.ckpt.lr_backoff * 0.5;
+    let mut events = std::mem::take(&mut state.ckpt.events);
+    events.push(format!(
+        "rollback #{retries}: {reason}; restored {} (phase {}, epoch {}), lr backoff -> {backoff}",
+        path.display(),
+        meta.phase,
+        meta.epoch,
+    ));
+    *state = restore(ckpt, &meta, dnn, rng)?;
+    state.ckpt.retries_used = retries;
+    state.ckpt.lr_backoff = backoff;
+    state.ckpt.events = events;
+    Ok(())
+}
+
+/// A parameter visitor callback, as accepted by `visit_params_mut` on
+/// both network types.
+type ParamVisitor<'a> = &'a mut dyn FnMut(&mut ull_nn::Param);
+
+/// Poisons the first gradient element of the first parameter with NaN —
+/// the payload of [`FaultKind::NanGradient`](crate::FaultKind::NanGradient).
+fn poison_first_grad(params: &mut dyn FnMut(ParamVisitor<'_>)) {
+    let mut first = true;
+    params(&mut |p| {
+        if first && !p.grad.data().is_empty() {
+            p.grad.data_mut()[0] = f32::NAN;
+            first = false;
+        }
+    });
+}
+
+/// Flips one byte in the middle of `path` in place (non-atomically, on
+/// purpose) — the payload of
+/// [`FaultKind::CorruptCheckpoint`](crate::FaultKind::CorruptCheckpoint).
+fn corrupt_file(path: &PathBuf) -> io::Result<()> {
+    let mut bytes = fs::read(path)?;
+    if !bytes.is_empty() {
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xff;
+    }
+    fs::write(path, bytes)
+}
+
+/// Runs the full pipeline crash-safely from scratch: like
+/// [`run_pipeline`](crate::run_pipeline), plus atomic checkpoints, numeric
+/// rollback-and-retry, and a recovery log in the report. On the healthy
+/// path the result is bit-identical to [`run_pipeline`](crate::run_pipeline)
+/// with the same seed.
+///
+/// # Errors
+///
+/// See [`PipelineError`].
+pub fn run_pipeline_recoverable(
+    dnn: &mut Network,
+    train_data: &Dataset,
+    test_data: &Dataset,
+    cfg: &PipelineConfig,
+    rcfg: &RecoveryConfig,
+    rng: &mut StdRng,
+) -> Result<(PipelineReport, SnnNetwork), PipelineError> {
+    run_pipeline_recoverable_with_faults(
+        dnn,
+        train_data,
+        test_data,
+        cfg,
+        rcfg,
+        rng,
+        &mut FaultPlan::none(),
+    )
+}
+
+/// [`run_pipeline_recoverable`] with a deterministic [`FaultPlan`] — the
+/// entry point of the fault-injection harness.
+///
+/// # Errors
+///
+/// See [`PipelineError`]; crash faults surface as
+/// [`PipelineError::SimulatedCrash`].
+#[allow(clippy::too_many_arguments)]
+pub fn run_pipeline_recoverable_with_faults(
+    dnn: &mut Network,
+    train_data: &Dataset,
+    test_data: &Dataset,
+    cfg: &PipelineConfig,
+    rcfg: &RecoveryConfig,
+    rng: &mut StdRng,
+    plan: &mut FaultPlan,
+) -> Result<(PipelineReport, SnnNetwork), PipelineError> {
+    fs::create_dir_all(&rcfg.checkpoint_dir).map_err(CheckpointError::Io)?;
+    let state = RunState::fresh(dnn);
+    drive(dnn, train_data, test_data, cfg, rcfg, rng, plan, state)
+}
+
+/// Resumes an interrupted run from the newest valid checkpoint in
+/// `rcfg.checkpoint_dir`, overwriting `dnn` and `rng` with the persisted
+/// state. The completed run is bit-identical to one that was never
+/// interrupted.
+///
+/// # Errors
+///
+/// [`CheckpointError::NoValidCheckpoint`] (wrapped) if the directory holds
+/// no usable checkpoint; otherwise see [`PipelineError`].
+pub fn resume_pipeline(
+    dnn: &mut Network,
+    train_data: &Dataset,
+    test_data: &Dataset,
+    cfg: &PipelineConfig,
+    rcfg: &RecoveryConfig,
+    rng: &mut StdRng,
+) -> Result<(PipelineReport, SnnNetwork), PipelineError> {
+    resume_pipeline_with_faults(
+        dnn,
+        train_data,
+        test_data,
+        cfg,
+        rcfg,
+        rng,
+        &mut FaultPlan::none(),
+    )
+}
+
+/// [`resume_pipeline`] with a deterministic [`FaultPlan`].
+///
+/// # Errors
+///
+/// Same as [`resume_pipeline`].
+#[allow(clippy::too_many_arguments)]
+pub fn resume_pipeline_with_faults(
+    dnn: &mut Network,
+    train_data: &Dataset,
+    test_data: &Dataset,
+    cfg: &PipelineConfig,
+    rcfg: &RecoveryConfig,
+    rng: &mut StdRng,
+    plan: &mut FaultPlan,
+) -> Result<(PipelineReport, SnnNetwork), PipelineError> {
+    let (ckpt, meta, _path) = load_latest::<PipelineCheckpoint>(&rcfg.checkpoint_dir)?;
+    let state = restore(ckpt, &meta, dnn, rng)?;
+    drive(dnn, train_data, test_data, cfg, rcfg, rng, plan, state)
+}
+
+/// Resumes if `rcfg.checkpoint_dir` holds a valid checkpoint, otherwise
+/// starts fresh — what a restarted job wants.
+///
+/// # Errors
+///
+/// See [`PipelineError`].
+pub fn run_or_resume_pipeline(
+    dnn: &mut Network,
+    train_data: &Dataset,
+    test_data: &Dataset,
+    cfg: &PipelineConfig,
+    rcfg: &RecoveryConfig,
+    rng: &mut StdRng,
+) -> Result<(PipelineReport, SnnNetwork), PipelineError> {
+    match load_latest::<PipelineCheckpoint>(&rcfg.checkpoint_dir) {
+        Ok((ckpt, meta, _path)) => {
+            let state = restore(ckpt, &meta, dnn, rng)?;
+            drive(
+                dnn,
+                train_data,
+                test_data,
+                cfg,
+                rcfg,
+                rng,
+                &mut FaultPlan::none(),
+                state,
+            )
+        }
+        Err(_) => run_pipeline_recoverable(dnn, train_data, test_data, cfg, rcfg, rng),
+    }
+}
+
+/// The phase-cursor drive loop shared by fresh and resumed runs.
+#[allow(clippy::too_many_arguments)]
+fn drive(
+    dnn: &mut Network,
+    train_data: &Dataset,
+    test_data: &Dataset,
+    cfg: &PipelineConfig,
+    rcfg: &RecoveryConfig,
+    rng: &mut StdRng,
+    plan: &mut FaultPlan,
+    mut state: RunState,
+) -> Result<(PipelineReport, SnnNetwork), PipelineError> {
+    let every_n = rcfg.every_n_epochs.max(1);
+
+    // ---- Phase (a): DNN training -------------------------------------
+    if state.phase == PipelinePhase::DnnTrain {
+        // Base checkpoint so even an epoch-0 failure has a rollback target.
+        if state.epoch == 0 {
+            commit(&state, rcfg, rng)?;
+        }
+        let tcfg = TrainConfig {
+            batch_size: cfg.batch_size,
+            augment_pad: cfg.augment_pad,
+            augment_flip: cfg.augment_flip,
+        };
+        let schedule = LrSchedule::paper(cfg.dnn_epochs).with_warmup(cfg.dnn_epochs / 10);
+        while state.epoch < cfg.dnn_epochs {
+            let e = state.epoch;
+            let sgd = Sgd::new(cfg.dnn_sgd).with_clip(5.0);
+            let lr = schedule.factor(e) * state.ckpt.lr_backoff;
+            let nan_batch = plan.take_nan(PipelinePhase::DnnTrain, e);
+            // Keep the DNN inside `state` in sync: train the state copy,
+            // then mirror into the caller's network on success.
+            let mut net = state.ckpt.dnn.clone();
+            let result = match nan_batch {
+                Some(batch) => train_epoch_with_hook(
+                    &mut net,
+                    train_data,
+                    &sgd,
+                    lr,
+                    &tcfg,
+                    rng,
+                    &mut |n, b| {
+                        if b == batch {
+                            poison_first_grad(&mut |f| n.visit_params_mut(f));
+                        }
+                    },
+                ),
+                None => train_epoch_checked(&mut net, train_data, &sgd, lr, &tcfg, rng),
+            };
+            match result {
+                Ok(stats)
+                    if state.ckpt.last_loss > 0.0
+                        && stats.loss > rcfg.explosion_factor * state.ckpt.last_loss =>
+                {
+                    let reason = format!(
+                        "dnn-train epoch {e}: loss exploded ({} > {} x {})",
+                        stats.loss, rcfg.explosion_factor, state.ckpt.last_loss
+                    );
+                    rollback(&mut state, dnn, rcfg, rng, reason)?;
+                }
+                Ok(stats) => {
+                    state.ckpt.dnn = net.clone();
+                    *dnn = net;
+                    state.ckpt.last_loss = stats.loss;
+                    state.ckpt.dnn_seconds += stats.seconds;
+                    state.epoch = e + 1;
+                    if state.epoch.is_multiple_of(every_n) || state.epoch == cfg.dnn_epochs {
+                        if plan.take_crash(PipelinePhase::DnnTrain, e) {
+                            return Err(PipelineError::SimulatedCrash {
+                                phase: PipelinePhase::DnnTrain,
+                                epoch: e,
+                            });
+                        }
+                        let path = commit(&state, rcfg, rng)?;
+                        if plan.take_corrupt(PipelinePhase::DnnTrain, e) {
+                            corrupt_file(&path).map_err(CheckpointError::Io)?;
+                            return Err(PipelineError::SimulatedCrash {
+                                phase: PipelinePhase::DnnTrain,
+                                epoch: e,
+                            });
+                        }
+                    }
+                }
+                Err(err) => {
+                    rollback(&mut state, dnn, rcfg, rng, format!("dnn-train: {err}"))?;
+                }
+            }
+        }
+
+        // ---- Phase (b): conversion (deterministic, no RNG) -----------
+        state.ckpt.dnn_accuracy = evaluate(&state.ckpt.dnn, test_data, cfg.batch_size);
+        let (snn, scalings) = convert(&state.ckpt.dnn, train_data, cfg.method, cfg.time_steps)?;
+        let (converted_accuracy, _) = evaluate_snn(&snn, test_data, cfg.time_steps, cfg.batch_size);
+        state.ckpt.converted_accuracy = converted_accuracy;
+        state.ckpt.best_acc = converted_accuracy;
+        state.ckpt.best_snn = Some(snn.clone());
+        state.ckpt.snn = Some(snn);
+        state.ckpt.scalings = scalings;
+        state.ckpt.last_loss = -1.0;
+        state.phase = PipelinePhase::Sgl;
+        state.epoch = 0;
+        // Commit the phase transition so a crash during SGL never redoes
+        // DNN training or conversion.
+        commit(&state, rcfg, rng)?;
+    }
+
+    // ---- Phase (c): SGL fine-tuning ----------------------------------
+    let stcfg = SnnTrainConfig {
+        batch_size: cfg.batch_size,
+        time_steps: cfg.time_steps,
+        augment_pad: cfg.augment_pad,
+        augment_flip: cfg.augment_flip,
+    };
+    let snn_schedule = LrSchedule::paper(cfg.snn_epochs);
+    while state.epoch < cfg.snn_epochs {
+        let e = state.epoch;
+        let snn_sgd = SnnSgd::new(cfg.snn_sgd).with_clip(5.0);
+        let lr = snn_schedule.factor(e) * state.ckpt.lr_backoff;
+        let nan_batch = plan.take_nan(PipelinePhase::Sgl, e);
+        let mut net = state
+            .ckpt
+            .snn
+            .clone()
+            .expect("SGL phase always has an SNN (checked on restore)");
+        let result = match nan_batch {
+            Some(batch) => train_snn_epoch_with_hook(
+                &mut net,
+                train_data,
+                &snn_sgd,
+                lr,
+                &stcfg,
+                rng,
+                &mut |n, b| {
+                    if b == batch {
+                        poison_first_grad(&mut |f| n.visit_params_mut(f));
+                    }
+                },
+            ),
+            None => train_snn_epoch_checked(&mut net, train_data, &snn_sgd, lr, &stcfg, rng),
+        };
+        match result {
+            Ok(stats)
+                if state.ckpt.last_loss > 0.0
+                    && stats.loss > rcfg.explosion_factor * state.ckpt.last_loss =>
+            {
+                let reason = format!(
+                    "sgl epoch {e}: loss exploded ({} > {} x {})",
+                    stats.loss, rcfg.explosion_factor, state.ckpt.last_loss
+                );
+                rollback(&mut state, dnn, rcfg, rng, reason)?;
+            }
+            Ok(stats) => {
+                let (acc, _) = evaluate_snn(&net, test_data, cfg.time_steps, cfg.batch_size);
+                if acc > state.ckpt.best_acc {
+                    state.ckpt.best_acc = acc;
+                    state.ckpt.best_snn = Some(net.clone());
+                }
+                state.ckpt.snn = Some(net);
+                state.ckpt.last_loss = stats.loss;
+                state.ckpt.snn_seconds += stats.seconds;
+                state.epoch = e + 1;
+                if state.epoch.is_multiple_of(every_n) || state.epoch == cfg.snn_epochs {
+                    if plan.take_crash(PipelinePhase::Sgl, e) {
+                        return Err(PipelineError::SimulatedCrash {
+                            phase: PipelinePhase::Sgl,
+                            epoch: e,
+                        });
+                    }
+                    let path = commit(&state, rcfg, rng)?;
+                    if plan.take_corrupt(PipelinePhase::Sgl, e) {
+                        corrupt_file(&path).map_err(CheckpointError::Io)?;
+                        return Err(PipelineError::SimulatedCrash {
+                            phase: PipelinePhase::Sgl,
+                            epoch: e,
+                        });
+                    }
+                }
+            }
+            Err(err) => {
+                rollback(&mut state, dnn, rcfg, rng, format!("sgl: {err}"))?;
+            }
+        }
+    }
+
+    *dnn = state.ckpt.dnn.clone();
+    let best_snn = state
+        .ckpt
+        .best_snn
+        .clone()
+        .expect("SGL phase always has a best SNN (checked on restore)");
+    Ok((
+        PipelineReport {
+            dnn_accuracy: state.ckpt.dnn_accuracy,
+            converted_accuracy: state.ckpt.converted_accuracy,
+            snn_accuracy: state.ckpt.best_acc,
+            scalings: state.ckpt.scalings.clone(),
+            dnn_seconds: state.ckpt.dnn_seconds,
+            snn_seconds: state.ckpt.snn_seconds,
+            time_steps: cfg.time_steps,
+            recovery_events: state.ckpt.events.clone(),
+        },
+        best_snn,
+    ))
+}

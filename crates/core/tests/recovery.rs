@@ -1,0 +1,279 @@
+//! Integration tests of the crash-safe pipeline: deterministic fault
+//! injection, rollback-and-retry, and the interrupt/resume bit-identity
+//! contract.
+
+use std::fs;
+use std::path::PathBuf;
+
+use ull_core::{
+    resume_pipeline, run_or_resume_pipeline, run_pipeline, run_pipeline_recoverable,
+    run_pipeline_recoverable_with_faults, FaultKind, FaultPlan, PipelineConfig, PipelineError,
+    PipelinePhase, RecoveryConfig,
+};
+use ull_data::{generate, Dataset, SynthCifarConfig};
+use ull_nn::{models, Network, TrainError};
+use ull_snn::SnnNetwork;
+use ull_tensor::init::seeded_rng;
+
+fn test_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir()
+        .join("ull_core_recovery_tests")
+        .join(format!("{name}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn fixture() -> (Dataset, Dataset, Network, PipelineConfig) {
+    let cfg = SynthCifarConfig::tiny(4);
+    let (train, test) = generate(&cfg);
+    let dnn = models::vgg_micro(4, cfg.image_size, 0.5, 11);
+    let mut pcfg = PipelineConfig::small(2);
+    pcfg.dnn_epochs = 4;
+    pcfg.snn_epochs = 3;
+    (train, test, dnn, pcfg)
+}
+
+/// Canonical bit-exact fingerprint of a network: its serialized JSON.
+/// f32 values round-trip exactly through the shortest-round-trip writer,
+/// so equal strings ⇔ bit-identical parameters.
+fn snn_bits(snn: &SnnNetwork) -> String {
+    serde_json::to_string(snn).unwrap()
+}
+
+fn dnn_bits(dnn: &Network) -> String {
+    serde_json::to_string(dnn).unwrap()
+}
+
+#[test]
+fn healthy_recoverable_run_matches_run_pipeline_bit_for_bit() {
+    let (train, test, dnn0, pcfg) = fixture();
+
+    let mut dnn_plain = dnn0.clone();
+    let mut rng = seeded_rng(12);
+    let (rep_plain, snn_plain) =
+        run_pipeline(&mut dnn_plain, &train, &test, &pcfg, &mut rng).unwrap();
+
+    let mut dnn_rec = dnn0.clone();
+    let rcfg = RecoveryConfig::new(test_dir("healthy"));
+    let mut rng = seeded_rng(12);
+    let (rep_rec, snn_rec) =
+        run_pipeline_recoverable(&mut dnn_rec, &train, &test, &pcfg, &rcfg, &mut rng).unwrap();
+
+    assert_eq!(
+        rep_plain.dnn_accuracy.to_bits(),
+        rep_rec.dnn_accuracy.to_bits()
+    );
+    assert_eq!(
+        rep_plain.converted_accuracy.to_bits(),
+        rep_rec.converted_accuracy.to_bits()
+    );
+    assert_eq!(
+        rep_plain.snn_accuracy.to_bits(),
+        rep_rec.snn_accuracy.to_bits()
+    );
+    assert_eq!(dnn_bits(&dnn_plain), dnn_bits(&dnn_rec));
+    assert_eq!(snn_bits(&snn_plain), snn_bits(&snn_rec));
+    assert!(rep_rec.recovery_events.is_empty());
+}
+
+#[test]
+fn interrupted_and_resumed_run_is_bit_identical() {
+    let (train, test, dnn0, pcfg) = fixture();
+
+    // Reference: uninterrupted recoverable run.
+    let mut dnn_ref = dnn0.clone();
+    let rcfg_ref = RecoveryConfig::new(test_dir("uninterrupted"));
+    let mut rng = seeded_rng(12);
+    let (rep_ref, snn_ref) =
+        run_pipeline_recoverable(&mut dnn_ref, &train, &test, &pcfg, &rcfg_ref, &mut rng).unwrap();
+
+    // Interrupted run: crash mid-DNN-training, resume, crash mid-SGL,
+    // resume again to completion.
+    let rcfg = RecoveryConfig::new(test_dir("interrupted"));
+    let mut dnn = dnn0.clone();
+    let mut rng = seeded_rng(12);
+    let mut plan = FaultPlan::none().with(PipelinePhase::DnnTrain, 2, FaultKind::CrashBeforeCommit);
+    let err = run_pipeline_recoverable_with_faults(
+        &mut dnn, &train, &test, &pcfg, &rcfg, &mut rng, &mut plan,
+    )
+    .unwrap_err();
+    assert!(matches!(
+        err,
+        PipelineError::SimulatedCrash {
+            phase: PipelinePhase::DnnTrain,
+            epoch: 2
+        }
+    ));
+
+    // A restarted process has a fresh network and RNG: both must be
+    // overwritten from the checkpoint.
+    let mut dnn = models::vgg_micro(4, 8, 0.5, 999);
+    let mut rng = seeded_rng(999);
+    let mut plan = FaultPlan::none().with(PipelinePhase::Sgl, 1, FaultKind::CrashBeforeCommit);
+    let err = {
+        use ull_core::resume_pipeline_with_faults;
+        resume_pipeline_with_faults(&mut dnn, &train, &test, &pcfg, &rcfg, &mut rng, &mut plan)
+            .unwrap_err()
+    };
+    assert!(matches!(
+        err,
+        PipelineError::SimulatedCrash {
+            phase: PipelinePhase::Sgl,
+            epoch: 1
+        }
+    ));
+
+    let mut dnn = models::vgg_micro(4, 8, 0.5, 777);
+    let mut rng = seeded_rng(777);
+    let (rep, snn) = resume_pipeline(&mut dnn, &train, &test, &pcfg, &rcfg, &mut rng).unwrap();
+
+    assert_eq!(rep_ref.dnn_accuracy.to_bits(), rep.dnn_accuracy.to_bits());
+    assert_eq!(
+        rep_ref.converted_accuracy.to_bits(),
+        rep.converted_accuracy.to_bits()
+    );
+    assert_eq!(rep_ref.snn_accuracy.to_bits(), rep.snn_accuracy.to_bits());
+    assert_eq!(dnn_bits(&dnn_ref), dnn_bits(&dnn));
+    assert_eq!(
+        snn_bits(&snn_ref),
+        snn_bits(&snn),
+        "resumed SNN differs from uninterrupted run"
+    );
+}
+
+#[test]
+fn nan_gradient_triggers_rollback_and_still_converges() {
+    let (train, test, dnn0, mut pcfg) = fixture();
+    pcfg.dnn_epochs = 6;
+
+    let rcfg = RecoveryConfig::new(test_dir("nan_rollback"));
+    let mut dnn = dnn0.clone();
+    let mut rng = seeded_rng(12);
+    // Poison one gradient in DNN epoch 1 and one in SGL epoch 1; both must
+    // be detected pre-step, rolled back, and retried automatically.
+    let mut plan = FaultPlan::none()
+        .with(
+            PipelinePhase::DnnTrain,
+            1,
+            FaultKind::NanGradient { batch: 0 },
+        )
+        .with(PipelinePhase::Sgl, 1, FaultKind::NanGradient { batch: 1 });
+    let (rep, snn) = run_pipeline_recoverable_with_faults(
+        &mut dnn, &train, &test, &pcfg, &rcfg, &mut rng, &mut plan,
+    )
+    .expect("pipeline must recover from injected NaNs");
+    assert_eq!(plan.pending(), 0, "both faults must have fired");
+    assert_eq!(rep.recovery_events.len(), 2, "{:?}", rep.recovery_events);
+    assert!(
+        rep.recovery_events
+            .iter()
+            .all(|e| e.contains("non-finite gradient")),
+        "{:?}",
+        rep.recovery_events
+    );
+    // No NaN leaked into the final model, and it still learned.
+    snn.visit_params(|p| assert!(p.value.data().iter().all(|x| x.is_finite())));
+    assert!(
+        rep.snn_accuracy > 0.3,
+        "post-recovery SNN at chance: {}",
+        rep.snn_accuracy
+    );
+}
+
+#[test]
+fn corrupted_newest_checkpoint_is_skipped_on_resume() {
+    let (train, test, dnn0, pcfg) = fixture();
+
+    // Reference: uninterrupted run.
+    let mut dnn_ref = dnn0.clone();
+    let rcfg_ref = RecoveryConfig::new(test_dir("corrupt_ref"));
+    let mut rng = seeded_rng(12);
+    let (_, snn_ref) =
+        run_pipeline_recoverable(&mut dnn_ref, &train, &test, &pcfg, &rcfg_ref, &mut rng).unwrap();
+
+    // Crash that corrupts the newest checkpoint after committing it.
+    let rcfg = RecoveryConfig::new(test_dir("corrupt"));
+    let mut dnn = dnn0.clone();
+    let mut rng = seeded_rng(12);
+    let mut plan = FaultPlan::none().with(PipelinePhase::DnnTrain, 2, FaultKind::CorruptCheckpoint);
+    let err = run_pipeline_recoverable_with_faults(
+        &mut dnn, &train, &test, &pcfg, &rcfg, &mut rng, &mut plan,
+    )
+    .unwrap_err();
+    assert!(matches!(err, PipelineError::SimulatedCrash { .. }));
+
+    // Resume must skip the torn file, fall back to the previous good
+    // checkpoint, and still finish bit-identically.
+    let mut dnn = models::vgg_micro(4, 8, 0.5, 999);
+    let mut rng = seeded_rng(999);
+    let (_, snn) = resume_pipeline(&mut dnn, &train, &test, &pcfg, &rcfg, &mut rng)
+        .expect("resume must survive a corrupted newest checkpoint");
+    assert_eq!(snn_bits(&snn_ref), snn_bits(&snn));
+}
+
+#[test]
+fn retry_budget_exhaustion_surfaces_diverged() {
+    let (train, test, dnn0, pcfg) = fixture();
+
+    let mut rcfg = RecoveryConfig::new(test_dir("diverged"));
+    rcfg.max_retries = 2;
+    let mut dnn = dnn0.clone();
+    let mut rng = seeded_rng(12);
+    // The same epoch fails on the first attempt and on both retries.
+    let mut plan = FaultPlan::none();
+    for _ in 0..3 {
+        plan = plan.with(
+            PipelinePhase::DnnTrain,
+            1,
+            FaultKind::NanGradient { batch: 0 },
+        );
+    }
+    let err = run_pipeline_recoverable_with_faults(
+        &mut dnn, &train, &test, &pcfg, &rcfg, &mut rng, &mut plan,
+    )
+    .unwrap_err();
+    match err {
+        PipelineError::Train(TrainError::Diverged {
+            phase,
+            epoch,
+            retries,
+        }) => {
+            assert_eq!(phase, "dnn-train");
+            assert_eq!(epoch, 1);
+            assert_eq!(retries, 2);
+        }
+        other => panic!("expected Diverged, got {other}"),
+    }
+}
+
+#[test]
+fn run_or_resume_starts_fresh_then_resumes() {
+    let (train, test, dnn0, pcfg) = fixture();
+
+    let rcfg = RecoveryConfig::new(test_dir("run_or_resume"));
+    // Empty directory: starts fresh (and would error if it tried to resume).
+    let mut dnn = dnn0.clone();
+    let mut rng = seeded_rng(12);
+    let mut plan = FaultPlan::none().with(PipelinePhase::Sgl, 0, FaultKind::CrashBeforeCommit);
+    let err = run_pipeline_recoverable_with_faults(
+        &mut dnn, &train, &test, &pcfg, &rcfg, &mut rng, &mut plan,
+    )
+    .unwrap_err();
+    assert!(matches!(err, PipelineError::SimulatedCrash { .. }));
+
+    // Now the directory has checkpoints: run_or_resume must pick them up
+    // (the stale network/RNG below would otherwise change the result).
+    let mut dnn = models::vgg_micro(4, 8, 0.5, 31);
+    let mut rng = seeded_rng(31);
+    let (rep, _snn) =
+        run_or_resume_pipeline(&mut dnn, &train, &test, &pcfg, &rcfg, &mut rng).unwrap();
+
+    // Same as an uninterrupted reference run.
+    let mut dnn_ref = dnn0.clone();
+    let rcfg_ref = RecoveryConfig::new(test_dir("run_or_resume_ref"));
+    let mut rng = seeded_rng(12);
+    let (rep_ref, _) =
+        run_pipeline_recoverable(&mut dnn_ref, &train, &test, &pcfg, &rcfg_ref, &mut rng).unwrap();
+    assert_eq!(rep_ref.snn_accuracy.to_bits(), rep.snn_accuracy.to_bits());
+}

@@ -2,6 +2,7 @@
 
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
+use rand::Rng;
 use serde::{Deserialize, Serialize};
 use ull_tensor::Tensor;
 
@@ -215,6 +216,31 @@ impl Dataset {
         }
     }
 
+    /// A copy where each pixel is independently replaced by NaN with
+    /// probability `rate` — deterministic (seeded) input corruption for
+    /// robustness studies, e.g. sensor dropouts feeding non-numbers into
+    /// the first layer. Labels are unchanged; `rate = 0` is the identity.
+    pub fn with_nan_poison(&self, rate: f32, seed: u64) -> Dataset {
+        let mut rng = ull_tensor::init::seeded_rng(seed);
+        let images = self
+            .images
+            .iter()
+            .map(|img| {
+                let mut img = img.clone();
+                for x in img.data_mut() {
+                    if rng.gen_bool(rate.clamp(0.0, 1.0) as f64) {
+                        *x = f32::NAN;
+                    }
+                }
+                img
+            })
+            .collect();
+        Dataset {
+            images,
+            labels: self.labels.clone(),
+        }
+    }
+
     /// A new dataset containing only the first `n` samples (prefix subset).
     pub fn take(&self, n: usize) -> Dataset {
         let n = n.min(self.len());
@@ -350,6 +376,43 @@ mod tests {
         }
         // Seeded: reproducible.
         assert_eq!(d.with_noise(0.5, 7), n);
+    }
+
+    #[test]
+    fn with_nan_poison_is_seeded_and_rate_bounded() {
+        let d = toy_dataset(4);
+        // Identity at rate 0.
+        assert_eq!(d.with_nan_poison(0.0, 3), d);
+        // Seeded: reproducible; labels untouched.
+        let p = d.with_nan_poison(0.25, 3);
+        assert_eq!(p.labels(), d.labels());
+        let p2 = d.with_nan_poison(0.25, 3);
+        for i in 0..d.len() {
+            assert_eq!(
+                p.image(i)
+                    .data()
+                    .iter()
+                    .map(|x| x.to_bits())
+                    .collect::<Vec<_>>(),
+                p2.image(i)
+                    .data()
+                    .iter()
+                    .map(|x| x.to_bits())
+                    .collect::<Vec<_>>()
+            );
+        }
+        // Poison rate lands in the right ballpark.
+        let mut nan = 0usize;
+        let mut total = 0usize;
+        for i in 0..d.len() {
+            nan += p.image(i).data().iter().filter(|x| x.is_nan()).count();
+            total += p.image(i).data().len();
+        }
+        let rate = nan as f32 / total as f32;
+        assert!((0.1..0.4).contains(&rate), "observed poison rate {rate}");
+        // Everything NaN at rate 1.
+        let all = d.with_nan_poison(1.0, 3);
+        assert!(all.image(0).data().iter().all(|x| x.is_nan()));
     }
 
     #[test]

@@ -44,10 +44,16 @@ mod trainer;
 pub mod models;
 
 pub use adam::{Adam, AdamConfig};
-pub use checkpoint::{load, save};
+pub use checkpoint::{
+    fnv1a, load, load_latest, load_with_meta, save, save_with_meta, CheckpointError,
+    CheckpointMeta, CHECKPOINT_EXT, FORMAT_VERSION,
+};
 pub use loss::{cross_entropy_grad, cross_entropy_loss};
 pub use metrics::{top_k_accuracy, ConfusionMatrix};
 pub use network::{Network, NetworkBuilder, NodeId, NodeOp, TapeEntry};
 pub use optim::{clip_network_grads, LrSchedule, Sgd, SgdConfig};
 pub use param::Param;
-pub use trainer::{evaluate, train, train_epoch, EpochStats, TrainConfig};
+pub use trainer::{
+    evaluate, train, train_epoch, train_epoch_checked, train_epoch_with_hook, EpochStats,
+    TrainConfig, TrainError,
+};

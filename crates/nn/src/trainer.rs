@@ -1,10 +1,79 @@
 //! Training and evaluation loops for DNNs.
 
+use std::fmt;
+
 use rand::rngs::StdRng;
 use serde::{Deserialize, Serialize};
 use ull_data::{Augment, Dataset};
 
 use crate::{cross_entropy_grad, cross_entropy_loss, LrSchedule, Network, Sgd};
+
+/// Typed numeric-failure errors raised by the checked training loops.
+///
+/// Training close to degenerate regimes (trainable thresholds, surrogate
+/// gradients on a near-step function) can blow up into NaN/Inf; the
+/// checked loops surface that as data instead of poisoning the run or
+/// panicking, so a supervisor can roll back to a checkpoint and retry.
+/// (No serde: a NaN loss has no faithful JSON representation; recovery
+/// logs record `Display` strings instead.)
+#[derive(Debug, Clone, PartialEq)]
+pub enum TrainError {
+    /// The batch loss came out NaN or ±∞.
+    NonFiniteLoss {
+        /// 0-based batch index within the epoch.
+        batch: usize,
+        /// The offending loss value (serialized as `null` in JSON).
+        loss: f32,
+    },
+    /// A parameter gradient contains NaN or ±∞ (caught *before* the
+    /// optimizer step, so parameter values are still clean).
+    NonFiniteGrad {
+        /// 0-based batch index within the epoch.
+        batch: usize,
+        /// Index of the parameter in `visit_params` order.
+        param: usize,
+        /// How many of its elements are non-finite.
+        bad_elems: usize,
+    },
+    /// A recovery supervisor exhausted its retry budget: the run kept
+    /// failing numerically even after rollback and LR backoff.
+    Diverged {
+        /// Phase label of the failing training loop (e.g. `"dnn-train"`).
+        phase: String,
+        /// Epoch that kept failing.
+        epoch: usize,
+        /// Number of rollback-and-retry attempts that were made.
+        retries: usize,
+    },
+}
+
+impl fmt::Display for TrainError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrainError::NonFiniteLoss { batch, loss } => {
+                write!(f, "non-finite loss {loss} at batch {batch}")
+            }
+            TrainError::NonFiniteGrad {
+                batch,
+                param,
+                bad_elems,
+            } => write!(
+                f,
+                "non-finite gradient in param {param} ({bad_elems} element(s)) at batch {batch}"
+            ),
+            TrainError::Diverged {
+                phase,
+                epoch,
+                retries,
+            } => write!(
+                f,
+                "training diverged in phase {phase} at epoch {epoch} after {retries} retries"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TrainError {}
 
 /// Configuration of one DNN training run.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -77,6 +146,102 @@ pub fn train_epoch(
         loss: (total_loss / seen.max(1) as f64) as f32,
         accuracy: correct as f32 / seen.max(1) as f32,
         seconds: start.elapsed().as_secs_f64(),
+    }
+}
+
+/// Like [`train_epoch`], but validates the loss and every gradient before
+/// each optimizer step and aborts the epoch with a typed [`TrainError`] on
+/// the first NaN/Inf, leaving parameter *values* untouched by the bad
+/// step. Consumes the RNG identically to [`train_epoch`] on the healthy
+/// path, so the two are interchangeable in deterministic pipelines.
+///
+/// # Errors
+///
+/// [`TrainError::NonFiniteLoss`] or [`TrainError::NonFiniteGrad`] at the
+/// first numerically broken batch.
+pub fn train_epoch_checked(
+    net: &mut Network,
+    train: &Dataset,
+    sgd: &Sgd,
+    lr_factor: f32,
+    cfg: &TrainConfig,
+    rng: &mut StdRng,
+) -> Result<EpochStats, TrainError> {
+    train_epoch_with_hook(net, train, sgd, lr_factor, cfg, rng, &mut |_, _| {})
+}
+
+/// [`train_epoch_checked`] with a per-batch instrumentation hook, called
+/// after the backward pass and *before* the finite checks and the
+/// optimizer step with `(net, batch_index)`. This is the seam the
+/// deterministic fault-injection harness (`ull-core`'s `FaultPlan`) uses
+/// to poison a gradient tensor at an exact, reproducible point; production
+/// callers want [`train_epoch_checked`].
+///
+/// # Errors
+///
+/// Same as [`train_epoch_checked`].
+pub fn train_epoch_with_hook(
+    net: &mut Network,
+    train: &Dataset,
+    sgd: &Sgd,
+    lr_factor: f32,
+    cfg: &TrainConfig,
+    rng: &mut StdRng,
+    hook: &mut dyn FnMut(&mut Network, usize),
+) -> Result<EpochStats, TrainError> {
+    let start = std::time::Instant::now();
+    let augment = Augment {
+        pad: cfg.augment_pad,
+        flip: cfg.augment_flip,
+    };
+    let mut total_loss = 0.0f64;
+    let mut correct = 0usize;
+    let mut seen = 0usize;
+    for (b, mut batch) in train.epoch_batches(cfg.batch_size, rng).enumerate() {
+        augment.apply(&mut batch.images, rng);
+        let tape = net.forward_train(&batch.images, rng);
+        let logits = &tape[net.output()].activation;
+        let loss = cross_entropy_loss(logits, &batch.labels);
+        if !loss.is_finite() {
+            return Err(TrainError::NonFiniteLoss { batch: b, loss });
+        }
+        let grad = cross_entropy_grad(logits, &batch.labels);
+        for (pred, &label) in logits.argmax_rows().iter().zip(&batch.labels) {
+            if *pred == label {
+                correct += 1;
+            }
+        }
+        total_loss += loss as f64 * batch.labels.len() as f64;
+        seen += batch.labels.len();
+        net.zero_grad();
+        net.backward(&tape, &grad);
+        hook(net, b);
+        check_grads_finite(net, b)?;
+        sgd.step(net, lr_factor);
+    }
+    Ok(EpochStats {
+        loss: (total_loss / seen.max(1) as f64) as f32,
+        accuracy: correct as f32 / seen.max(1) as f32,
+        seconds: start.elapsed().as_secs_f64(),
+    })
+}
+
+fn check_grads_finite(net: &Network, batch: usize) -> Result<(), TrainError> {
+    let mut bad: Option<(usize, usize)> = None;
+    let mut idx = 0usize;
+    net.visit_params(|p| {
+        if bad.is_none() && !p.grad.all_finite() {
+            bad = Some((idx, p.grad.count_nonfinite()));
+        }
+        idx += 1;
+    });
+    match bad {
+        Some((param, bad_elems)) => Err(TrainError::NonFiniteGrad {
+            batch,
+            param,
+            bad_elems,
+        }),
+        None => Ok(()),
     }
 }
 
@@ -164,6 +329,91 @@ mod tests {
         let (_, test_data) = generate(&cfg);
         let net = small_net(4, cfg.image_size);
         assert_eq!(evaluate(&net, &test_data, 8), evaluate(&net, &test_data, 8));
+    }
+
+    #[test]
+    fn checked_epoch_matches_unchecked_bit_for_bit() {
+        let cfg = SynthCifarConfig::tiny(3);
+        let (train_data, _) = generate(&cfg);
+        let sgd = Sgd::new(SgdConfig::default());
+        let tcfg = TrainConfig::default();
+        let mut a = small_net(3, cfg.image_size);
+        let mut b = a.clone();
+        let mut rng_a = seeded_rng(31);
+        let mut rng_b = seeded_rng(31);
+        let sa = train_epoch(&mut a, &train_data, &sgd, 1.0, &tcfg, &mut rng_a);
+        let sb = train_epoch_checked(&mut b, &train_data, &sgd, 1.0, &tcfg, &mut rng_b).unwrap();
+        assert_eq!(sa.loss.to_bits(), sb.loss.to_bits());
+        assert_eq!(sa.accuracy, sb.accuracy);
+        let mut va = Vec::new();
+        a.visit_params(|p| va.extend_from_slice(p.value.data()));
+        let mut vb = Vec::new();
+        b.visit_params(|p| vb.extend_from_slice(p.value.data()));
+        assert!(va.iter().zip(&vb).all(|(x, y)| x.to_bits() == y.to_bits()));
+        // Identical residual RNG state: the loops are interchangeable
+        // mid-pipeline without perturbing downstream randomness.
+        assert_eq!(rng_a, rng_b);
+    }
+
+    #[test]
+    fn checked_epoch_detects_injected_nan_gradient() {
+        let cfg = SynthCifarConfig::tiny(3);
+        let (train_data, _) = generate(&cfg);
+        let mut net = small_net(3, cfg.image_size);
+        let before = net.clone();
+        let sgd = Sgd::new(SgdConfig::default());
+        let mut rng = seeded_rng(32);
+        let r = train_epoch_with_hook(
+            &mut net,
+            &train_data,
+            &sgd,
+            1.0,
+            &TrainConfig::default(),
+            &mut rng,
+            &mut |n, b| {
+                if b == 0 {
+                    n.visit_params_mut(|p| p.grad.data_mut()[0] = f32::NAN);
+                }
+            },
+        );
+        match r {
+            Err(TrainError::NonFiniteGrad { batch: 0, .. }) => {}
+            other => panic!("expected NonFiniteGrad at batch 0, got {other:?}"),
+        }
+        // Caught before the step: parameter values are unpoisoned.
+        let mut va = Vec::new();
+        before.visit_params(|p| va.extend_from_slice(p.value.data()));
+        let mut vb = Vec::new();
+        net.visit_params(|p| vb.extend_from_slice(p.value.data()));
+        assert_eq!(va, vb);
+    }
+
+    #[test]
+    fn checked_epoch_detects_nan_weights_as_nonfinite_loss() {
+        let cfg = SynthCifarConfig::tiny(3);
+        let (train_data, _) = generate(&cfg);
+        let mut net = small_net(3, cfg.image_size);
+        // Poison a weight tensor (not the scalar threshold μ, whose NaN
+        // would panic `clip` before the loss is even computed).
+        net.visit_params_mut(|p| {
+            if p.len() > 1 {
+                p.value.data_mut()[0] = f32::NAN;
+            }
+        });
+        let sgd = Sgd::new(SgdConfig::default());
+        let mut rng = seeded_rng(33);
+        let r = train_epoch_checked(
+            &mut net,
+            &train_data,
+            &sgd,
+            1.0,
+            &TrainConfig::default(),
+            &mut rng,
+        );
+        assert!(
+            matches!(r, Err(TrainError::NonFiniteLoss { batch: 0, .. })),
+            "{r:?}"
+        );
     }
 
     #[test]

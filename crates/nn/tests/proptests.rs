@@ -1,11 +1,30 @@
-//! Property-based tests for network construction and training mechanics.
+//! Property-based tests for network construction and training mechanics,
+//! and for checkpoint robustness under file corruption.
+
+use std::fs;
+use std::path::PathBuf;
 
 use proptest::prelude::*;
 use ull_nn::{
-    cross_entropy_grad, cross_entropy_loss, models, LrSchedule, NetworkBuilder, Sgd, SgdConfig,
+    cross_entropy_grad, cross_entropy_loss, load_with_meta, models, save_with_meta, CheckpointMeta,
+    LrSchedule, Network, NetworkBuilder, Sgd, SgdConfig,
 };
 use ull_tensor::init::{normal, seeded_rng};
 use ull_tensor::Tensor;
+
+fn corruption_case_path(tag: &str, case: u64) -> PathBuf {
+    let dir = std::env::temp_dir()
+        .join("ull_nn_proptests")
+        .join(format!("{}", std::process::id()));
+    fs::create_dir_all(&dir).unwrap();
+    dir.join(format!("{tag}-{case}.json"))
+}
+
+fn params_bits(net: &Network) -> Vec<u32> {
+    let mut v = Vec::new();
+    net.visit_params(|p| v.extend(p.value.data().iter().map(|x| x.to_bits())));
+    v
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
@@ -92,6 +111,60 @@ proptest! {
         net.visit_params(|p| {
             assert!(p.value.data().iter().all(|v| v.is_finite()));
         });
+    }
+
+    /// Loading a checkpoint truncated at any byte boundary never panics
+    /// and never silently returns a wrong model: it either errors or (for
+    /// zero truncation) round-trips the exact parameters.
+    #[test]
+    fn truncated_checkpoint_never_panics_or_lies(
+        seed in 0u64..30,
+        frac in 0.0f64..1.0,
+    ) {
+        let net = models::vgg_micro(3, 8, 0.25, seed);
+        let path = corruption_case_path("trunc", seed);
+        let meta = CheckpointMeta { phase: "dnn-train".into(), epoch: 5, rng_state: [1, 2, 3, 4] };
+        save_with_meta(&net, &meta, &path).unwrap();
+        let bytes = fs::read(&path).unwrap();
+        let keep = ((bytes.len() as f64) * frac) as usize;
+        fs::write(&path, &bytes[..keep]).unwrap();
+        match load_with_meta::<Network>(&path) {
+            Ok((loaded, lmeta)) => {
+                // Only acceptable if the file survived intact.
+                prop_assert_eq!(keep, bytes.len());
+                prop_assert_eq!(params_bits(&loaded), params_bits(&net));
+                prop_assert_eq!(lmeta, meta.clone());
+            }
+            Err(_) => prop_assert!(keep < bytes.len(), "intact file failed to load"),
+        }
+    }
+
+    /// Flipping any single byte of a checkpoint never panics and never
+    /// yields a model that differs from the original: corruption is either
+    /// detected (checksum/parse error) or provably harmless (the flip
+    /// landed in formatting whitespace and the checksummed content is
+    /// unchanged).
+    #[test]
+    fn byte_flipped_checkpoint_never_panics_or_lies(
+        seed in 0u64..30,
+        pos_frac in 0.0f64..1.0,
+        flip in 1u8..=255,
+    ) {
+        let net = models::vgg_micro(3, 8, 0.25, seed);
+        let path = corruption_case_path("flip", seed);
+        let meta = CheckpointMeta { phase: "sgl".into(), epoch: 2, rng_state: [5, 6, 7, 8] };
+        save_with_meta(&net, &meta, &path).unwrap();
+        let mut bytes = fs::read(&path).unwrap();
+        let pos = ((bytes.len() as f64) * pos_frac) as usize % bytes.len();
+        bytes[pos] ^= flip;
+        fs::write(&path, &bytes).unwrap();
+        // An Err is fine — corruption detected. An Ok is only acceptable
+        // if the load is provably unchanged (flip landed in formatting
+        // whitespace outside the checksummed canonical content).
+        if let Ok((loaded, lmeta)) = load_with_meta::<Network>(&path) {
+            prop_assert_eq!(params_bits(&loaded), params_bits(&net));
+            prop_assert_eq!(lmeta, meta.clone());
+        }
     }
 
     /// Forward passes are deterministic in eval mode and invariant to

@@ -53,5 +53,6 @@ pub use network::{
 pub use profile::{memory_profile, MemoryProfile};
 pub use stats::{ActivityReport, SpikeStats};
 pub use train::{
-    clip_snn_grads, evaluate_snn, train_snn_epoch, SnnEpochStats, SnnSgd, SnnTrainConfig,
+    clip_snn_grads, evaluate_snn, train_snn_epoch, train_snn_epoch_checked,
+    train_snn_epoch_with_hook, SnnEpochStats, SnnSgd, SnnTrainConfig,
 };

@@ -10,7 +10,7 @@
 use rand::rngs::StdRng;
 use serde::{Deserialize, Serialize};
 use ull_data::{Augment, Dataset};
-use ull_nn::{cross_entropy_grad, cross_entropy_loss, Param, SgdConfig};
+use ull_nn::{cross_entropy_grad, cross_entropy_loss, Param, SgdConfig, TrainError};
 use ull_tensor::conv::conv2d_backward;
 use ull_tensor::pool::{avgpool2d_backward, maxpool2d_backward};
 use ull_tensor::{matmul, matmul_transpose_a, Tensor};
@@ -340,6 +340,107 @@ pub fn train_snn_epoch(
     }
 }
 
+/// Like [`train_snn_epoch`], but validates the loss and every gradient
+/// before each optimizer step and aborts the epoch with a typed
+/// [`TrainError`](ull_nn::TrainError) on the first NaN/Inf, leaving
+/// parameter *values* untouched by the bad step. Consumes the RNG
+/// identically to [`train_snn_epoch`] on the healthy path, so the two are
+/// interchangeable in deterministic pipelines.
+///
+/// # Errors
+///
+/// [`TrainError::NonFiniteLoss`](ull_nn::TrainError::NonFiniteLoss) or
+/// [`TrainError::NonFiniteGrad`](ull_nn::TrainError::NonFiniteGrad) at the
+/// first numerically broken batch.
+pub fn train_snn_epoch_checked(
+    net: &mut SnnNetwork,
+    train: &Dataset,
+    sgd: &SnnSgd,
+    lr_factor: f32,
+    cfg: &SnnTrainConfig,
+    rng: &mut StdRng,
+) -> Result<SnnEpochStats, TrainError> {
+    train_snn_epoch_with_hook(net, train, sgd, lr_factor, cfg, rng, &mut |_, _| {})
+}
+
+/// [`train_snn_epoch_checked`] with a per-batch instrumentation hook,
+/// called after the BPTT backward pass and *before* the finite checks and
+/// the optimizer step with `(net, batch_index)`. This is the seam the
+/// deterministic fault-injection harness (`ull-core`'s `FaultPlan`) uses
+/// to poison a gradient tensor at an exact, reproducible point; production
+/// callers want [`train_snn_epoch_checked`].
+///
+/// # Errors
+///
+/// Same as [`train_snn_epoch_checked`].
+#[allow(clippy::too_many_arguments)]
+pub fn train_snn_epoch_with_hook(
+    net: &mut SnnNetwork,
+    train: &Dataset,
+    sgd: &SnnSgd,
+    lr_factor: f32,
+    cfg: &SnnTrainConfig,
+    rng: &mut StdRng,
+    hook: &mut dyn FnMut(&mut SnnNetwork, usize),
+) -> Result<SnnEpochStats, TrainError> {
+    let start = std::time::Instant::now();
+    let augment = Augment {
+        pad: cfg.augment_pad,
+        flip: cfg.augment_flip,
+    };
+    let mut total_loss = 0.0f64;
+    let mut correct = 0usize;
+    let mut seen = 0usize;
+    let mut tape_bytes = 0usize;
+    for (b, mut batch) in train.epoch_batches(cfg.batch_size, rng).enumerate() {
+        augment.apply(&mut batch.images, rng);
+        let tape = net.forward_train(&batch.images, cfg.time_steps, rng);
+        tape_bytes = tape_bytes.max(tape.memory_bytes());
+        let loss = cross_entropy_loss(&tape.logits, &batch.labels);
+        if !loss.is_finite() {
+            return Err(TrainError::NonFiniteLoss { batch: b, loss });
+        }
+        let grad = cross_entropy_grad(&tape.logits, &batch.labels);
+        for (pred, &label) in tape.logits.argmax_rows().iter().zip(&batch.labels) {
+            if *pred == label {
+                correct += 1;
+            }
+        }
+        total_loss += loss as f64 * batch.labels.len() as f64;
+        seen += batch.labels.len();
+        net.zero_grad();
+        net.backward(&tape, &grad);
+        hook(net, b);
+        check_snn_grads_finite(net, b)?;
+        sgd.step(net, lr_factor);
+    }
+    Ok(SnnEpochStats {
+        loss: (total_loss / seen.max(1) as f64) as f32,
+        accuracy: correct as f32 / seen.max(1) as f32,
+        seconds: start.elapsed().as_secs_f64(),
+        tape_bytes,
+    })
+}
+
+fn check_snn_grads_finite(net: &SnnNetwork, batch: usize) -> Result<(), TrainError> {
+    let mut bad: Option<(usize, usize)> = None;
+    let mut idx = 0usize;
+    net.visit_params(|p| {
+        if bad.is_none() && !p.grad.all_finite() {
+            bad = Some((idx, p.grad.count_nonfinite()));
+        }
+        idx += 1;
+    });
+    match bad {
+        Some((param, bad_elems)) => Err(TrainError::NonFiniteGrad {
+            batch,
+            param,
+            bad_elems,
+        }),
+        None => Ok(()),
+    }
+}
+
 /// Top-1 accuracy (and merged spike statistics) of `net` on `data` with `t`
 /// time steps.
 pub fn evaluate_snn(
@@ -546,6 +647,76 @@ mod tests {
         let snn = SnnNetwork::from_network(&dnn, &specs).unwrap();
         let (_, stats) = evaluate_snn(&snn, &test_data, 2, 8);
         assert_eq!(stats.batch(), test_data.len());
+    }
+
+    #[test]
+    fn checked_snn_epoch_matches_unchecked_bit_for_bit() {
+        let cfg = SynthCifarConfig::tiny(3);
+        let (train_data, _) = generate(&cfg);
+        let dnn = models::vgg_micro(3, cfg.image_size, 0.5, 7);
+        let specs = vec![SpikeSpec::identity(2.0); dnn.threshold_nodes().len()];
+        let snn0 = SnnNetwork::from_network(&dnn, &specs).unwrap();
+        let sgd = SnnSgd::new(SgdConfig::default());
+        let tcfg = SnnTrainConfig {
+            batch_size: 16,
+            time_steps: 2,
+            augment_pad: 2,
+            augment_flip: true,
+        };
+
+        let mut a = snn0.clone();
+        let mut rng_a = seeded_rng(40);
+        let sa = train_snn_epoch(&mut a, &train_data, &sgd, 1.0, &tcfg, &mut rng_a);
+
+        let mut b = snn0.clone();
+        let mut rng_b = seeded_rng(40);
+        let sb = train_snn_epoch_checked(&mut b, &train_data, &sgd, 1.0, &tcfg, &mut rng_b)
+            .expect("healthy epoch must not error");
+
+        assert_eq!(sa.loss.to_bits(), sb.loss.to_bits());
+        assert_eq!(sa.accuracy.to_bits(), sb.accuracy.to_bits());
+        assert_eq!(rng_a.state(), rng_b.state(), "RNG consumption diverged");
+        let mut va = Vec::new();
+        let mut vb = Vec::new();
+        a.visit_params(|p| va.extend(p.value.data().iter().map(|x| x.to_bits())));
+        b.visit_params(|p| vb.extend(p.value.data().iter().map(|x| x.to_bits())));
+        assert_eq!(va, vb, "parameters diverged between checked/unchecked");
+    }
+
+    #[test]
+    fn checked_snn_epoch_detects_injected_nan_gradient() {
+        let cfg = SynthCifarConfig::tiny(3);
+        let (train_data, _) = generate(&cfg);
+        let dnn = models::vgg_micro(3, cfg.image_size, 0.5, 7);
+        let specs = vec![SpikeSpec::identity(2.0); dnn.threshold_nodes().len()];
+        let mut snn = SnnNetwork::from_network(&dnn, &specs).unwrap();
+        let before: Vec<u32> = {
+            let mut v = Vec::new();
+            snn.visit_params(|p| v.extend(p.value.data().iter().map(|x| x.to_bits())));
+            v
+        };
+        let sgd = SnnSgd::new(SgdConfig::default());
+        let tcfg = SnnTrainConfig::default();
+        let mut rng = seeded_rng(41);
+        let err = train_snn_epoch_with_hook(
+            &mut snn,
+            &train_data,
+            &sgd,
+            1.0,
+            &tcfg,
+            &mut rng,
+            &mut |net, b| {
+                if b == 0 {
+                    net.visit_params_mut(|p| p.grad.data_mut()[0] = f32::NAN);
+                }
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(err, TrainError::NonFiniteGrad { batch: 0, .. }));
+        // The poisoned step never ran: parameter values are untouched.
+        let mut after = Vec::new();
+        snn.visit_params(|p| after.extend(p.value.data().iter().map(|x| x.to_bits())));
+        assert_eq!(before, after, "NaN gradient leaked into parameters");
     }
 
     #[test]

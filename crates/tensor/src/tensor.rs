@@ -377,6 +377,18 @@ impl Tensor {
         self.data.iter().filter(|&&x| x != 0.0).count()
     }
 
+    /// `true` when every element is finite (no NaN and no ±∞). The cheap
+    /// health check run on losses and gradients to catch numeric
+    /// divergence before it poisons a training run.
+    pub fn all_finite(&self) -> bool {
+        self.data.iter().all(|x| x.is_finite())
+    }
+
+    /// Number of non-finite (NaN or ±∞) elements, for diagnostics.
+    pub fn count_nonfinite(&self) -> usize {
+        self.data.iter().filter(|x| !x.is_finite()).count()
+    }
+
     /// ReLU: `max(x, 0)` elementwise.
     pub fn relu(&self) -> Self {
         self.map(|x| x.max(0.0))
@@ -515,6 +527,21 @@ impl Default for Tensor {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn all_finite_catches_nan_and_infinities() {
+        let mut t = Tensor::zeros(&[2, 2]);
+        assert!(t.all_finite());
+        assert_eq!(t.count_nonfinite(), 0);
+        t.data_mut()[1] = f32::NAN;
+        t.data_mut()[3] = f32::INFINITY;
+        assert!(!t.all_finite());
+        assert_eq!(t.count_nonfinite(), 2);
+        t.data_mut()[1] = 0.0;
+        t.data_mut()[3] = f32::NEG_INFINITY;
+        assert!(!t.all_finite());
+        assert_eq!(t.count_nonfinite(), 1);
+    }
 
     #[test]
     fn zeros_ones_full() {

@@ -45,6 +45,54 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             (report.snn_accuracy - snn_acc) * 100.0
         );
     }
-    println!("\n(the clean-accuracy gap means absolute rows differ; the *drop* columns\n show how each model degrades)");
+    println!("\n(the clean-accuracy gap means absolute rows differ; the *drop* columns\n show how each model degrades)\n");
+
+    // NaN poisoning: pixels replaced by NaN, as from a faulty sensor or a
+    // corrupted input buffer. In the DNN a single NaN contaminates every
+    // downstream activation of its receptive field. The SNN's spike
+    // condition `u > V^th` is *false* for a NaN membrane, so poisoned
+    // neurons simply fall silent and later layers keep computing on
+    // finite spike trains — graceful degradation instead of collapse.
+    println!(
+        "{:<12}{:>10}{:>12}{:>16}{:>16}",
+        "NaN rate", "DNN %", "SNN %", "DNN NaN logits", "SNN NaN logits"
+    );
+    for (i, rate) in [0.0f32, 0.01, 0.05, 0.1, 0.2].iter().enumerate() {
+        let poisoned = test.with_nan_poison(*rate, 2000 + i as u64);
+        let dnn_acc = evaluate(&dnn, &poisoned, 32);
+        let (snn_acc, _) = evaluate_snn(&snn, &poisoned, 2, 32);
+        let dnn_nan = nan_logit_fraction(|b| dnn.forward_eval(b), &poisoned);
+        let snn_nan = nan_logit_fraction(|b| snn.forward(b, 2).logits, &poisoned);
+        println!(
+            "{:<12.2}{:>9.1}%{:>11.1}%{:>15.1}%{:>15.1}%",
+            rate,
+            dnn_acc * 100.0,
+            snn_acc * 100.0,
+            dnn_nan * 100.0,
+            snn_nan * 100.0
+        );
+    }
+    println!("\n(spikes clamp NaN — the poisoned SNN still emits finite logits and\n degrades smoothly, while the DNN's logits go NaN with the input)");
     Ok(())
+}
+
+/// Fraction of test samples whose logits contain at least one NaN.
+fn nan_logit_fraction(mut forward: impl FnMut(&Tensor) -> Tensor, data: &Dataset) -> f32 {
+    let mut bad = 0usize;
+    let mut seen = 0usize;
+    for batch in data.eval_batches(32) {
+        let logits = forward(&batch.images);
+        let rows = batch.labels.len();
+        let cols = logits.len() / rows.max(1);
+        for r in 0..rows {
+            if logits.data()[r * cols..(r + 1) * cols]
+                .iter()
+                .any(|x| x.is_nan())
+            {
+                bad += 1;
+            }
+        }
+        seen += rows;
+    }
+    bad as f32 / seen.max(1) as f32
 }

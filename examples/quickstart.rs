@@ -7,6 +7,11 @@
 //! ```sh
 //! cargo run --release --example quickstart
 //! ```
+//!
+//! Set `ULL_CHECKPOINT_DIR=/some/dir` to run crash-safely: the pipeline
+//! commits an atomic checkpoint every epoch and, if the directory already
+//! holds one (e.g. the previous run was killed), resumes from it and
+//! finishes bit-identically to an uninterrupted run.
 
 use ultralow_snn::prelude::*;
 
@@ -33,7 +38,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     cfg.snn_epochs = 5;
 
     let mut rng = seeded_rng(7);
-    let (report, snn) = run_pipeline(&mut dnn, &train, &test, &cfg, &mut rng)?;
+    let (report, snn) = match std::env::var_os("ULL_CHECKPOINT_DIR") {
+        Some(dir) => {
+            let rcfg = RecoveryConfig::new(std::path::PathBuf::from(&dir));
+            println!(
+                "\ncheckpointing to {} (resuming if a checkpoint exists)",
+                rcfg.checkpoint_dir.display()
+            );
+            run_or_resume_pipeline(&mut dnn, &train, &test, &cfg, &rcfg, &mut rng)?
+        }
+        None => run_pipeline(&mut dnn, &train, &test, &cfg, &mut rng)?,
+    };
+    for event in &report.recovery_events {
+        println!("recovery: {event}");
+    }
 
     println!("\n=== Table-I style result (T = {t}) ===");
     println!(

@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Kill-and-resume smoke test: run the quickstart example with checkpointing
+# enabled, SIGKILL it mid-run, then rerun and require it to resume from the
+# on-disk checkpoint and finish. Exercises the crash-safety contract end to
+# end (see DESIGN.md, "Crash-safety and recovery").
+#
+# Tunables:
+#   RESUME_SMOKE_KILL_AFTER  seconds before the first run is killed (default 20)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+KILL_AFTER="${RESUME_SMOKE_KILL_AFTER:-20}"
+export ULL_CHECKPOINT_DIR="$(mktemp -d)"
+trap 'rm -rf "$ULL_CHECKPOINT_DIR"' EXIT
+
+cargo build --release --example quickstart
+
+echo "== first run (SIGKILL after ${KILL_AFTER}s) =="
+set +e
+timeout -s KILL "$KILL_AFTER" ./target/release/examples/quickstart
+status=$?
+set -e
+if [ "$status" -eq 0 ]; then
+    echo "first run finished before the kill timer fired; nothing to resume (pass)"
+    exit 0
+fi
+echo "first run killed (exit $status)"
+
+# The killed run must have committed at least one valid checkpoint.
+ls "$ULL_CHECKPOINT_DIR"/*.json > /dev/null
+
+echo "== second run (must resume and finish) =="
+./target/release/examples/quickstart
+echo "resume smoke test passed"
