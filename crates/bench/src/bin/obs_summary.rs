@@ -1,0 +1,131 @@
+//! Renders an observability trace: top spans by total time plus the
+//! per-layer spiking-activity table (the Fig. 4a quantity) reconstructed
+//! from the `snn.spikes.node.*` / `snn.neurons.node.*` stream.
+//!
+//! ```sh
+//! ULL_TRACE=/tmp/run.jsonl cargo run --release --example quickstart
+//! cargo run --release -p ull-bench --bin obs_summary -- /tmp/run.jsonl
+//! ```
+//!
+//! With `--validate`, every line must parse as a trace event and the
+//! process exits non-zero otherwise — the CI smoke check.
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+use ull_obs::{SpanStat, TraceEvent};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let validate = args.iter().any(|a| a == "--validate");
+    let Some(path) = args.iter().find(|a| !a.starts_with("--")) else {
+        eprintln!("usage: obs_summary [--validate] <trace.jsonl>");
+        return ExitCode::FAILURE;
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("obs_summary: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut spans: BTreeMap<String, SpanStat> = BTreeMap::new();
+    let mut counters: BTreeMap<String, u64> = BTreeMap::new();
+    let mut gauges: BTreeMap<String, u64> = BTreeMap::new();
+    let mut events = 0usize;
+    let mut bad = 0usize;
+    for (lineno, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        match serde_json::from_str::<TraceEvent>(line) {
+            Ok(ev) => {
+                events += 1;
+                match ev {
+                    TraceEvent::Span { path, dur_us, .. } => {
+                        let s = spans.entry(path).or_default();
+                        s.count += 1;
+                        s.total_ns += dur_us * 1_000;
+                        s.max_ns = s.max_ns.max(dur_us * 1_000);
+                    }
+                    TraceEvent::Counter { key, delta, .. } => {
+                        *counters.entry(key).or_insert(0) += delta;
+                    }
+                    TraceEvent::Gauge { key, value } => {
+                        gauges.insert(key, value);
+                    }
+                    TraceEvent::Mark { .. } => {}
+                }
+            }
+            Err(e) => {
+                bad += 1;
+                eprintln!("line {}: unparseable trace event: {e}", lineno + 1);
+            }
+        }
+    }
+    println!("{path}: {events} events ({bad} unparseable)");
+    if validate && bad > 0 {
+        return ExitCode::FAILURE;
+    }
+
+    println!("\ntop spans by total time:");
+    let mut by_time: Vec<(&String, &SpanStat)> = spans.iter().collect();
+    by_time.sort_by_key(|(_, s)| std::cmp::Reverse(s.total_ns));
+    for (p, s) in by_time.iter().take(15) {
+        println!(
+            "  {:<44} {:>8} calls  {:>12.3} ms total  {:>10.3} ms max",
+            p,
+            s.count,
+            s.total_ns as f64 / 1e6,
+            s.max_ns as f64 / 1e6
+        );
+    }
+
+    // Per-layer activity: spikes / (images × neurons) per node — the
+    // paper's ζ. Node ids come from the counter key suffix.
+    let images = counters.get("snn.forward.images").copied().unwrap_or(0);
+    let mut rows = Vec::new();
+    for (key, &spikes) in counters.range("snn.spikes.node.".to_string()..) {
+        let Some(id) = key.strip_prefix("snn.spikes.node.") else {
+            break;
+        };
+        let neurons = gauges
+            .get(&format!("snn.neurons.node.{id}"))
+            .copied()
+            .unwrap_or(0);
+        rows.push((id.parse::<usize>().unwrap_or(usize::MAX), spikes, neurons));
+    }
+    rows.sort_unstable();
+    if !rows.is_empty() {
+        println!("\nper-layer spiking activity ({images} images):");
+        println!("  node   spikes        neurons   spikes/neuron/image");
+        for (id, spikes, neurons) in rows {
+            let rate = if images > 0 && neurons > 0 {
+                spikes as f64 / (images as f64 * neurons as f64)
+            } else {
+                0.0
+            };
+            println!("  {id:<5}  {spikes:<12}  {neurons:<8}  {rate:.4}");
+        }
+    }
+
+    let interesting = [
+        "tensor.macs",
+        "nn.train.batches",
+        "snn.train.batches",
+        "checkpoint.saves",
+        "checkpoint.bytes",
+        "convert.alpha_candidates",
+        "convert.pairs_evaluated",
+        "recovery.rollbacks",
+        "recovery.resumes",
+    ];
+    println!("\ncounters:");
+    for key in interesting {
+        if let Some(v) = counters.get(key) {
+            println!("  {key:<28} {v}");
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -115,6 +115,11 @@ pub fn find_scaling_factors(percentiles: &[f32], mu: f32, t: usize) -> (f32, f32
     let betas: Vec<f32> = (0..=(BETA_MAX / BETA_STEP) as usize)
         .map(|i| i as f32 * BETA_STEP)
         .collect();
+    ull_obs::counter_add("convert.alpha_candidates", candidates.len() as u64);
+    ull_obs::counter_add(
+        "convert.pairs_evaluated",
+        (candidates.len() * betas.len()) as u64,
+    );
     // The α candidate set splits over the pool: each candidate's β sweep is
     // independent, and every (α, β) loss is a fixed function of the inputs.
     // Each work item returns its candidate's first-best (strict <, β
@@ -152,6 +157,7 @@ pub fn find_scaling_factors(percentiles: &[f32], mu: f32, t: usize) -> (f32, f32
 /// spawning a second generation of threads. Results come back in layer
 /// order and match the serial search bit for bit.
 pub fn scale_layers(layers: &[LayerActivations], t: usize) -> Vec<LayerScaling> {
+    let _span = ull_obs::span("convert.algorithm1");
     parallel::par_map(layers.len(), |i| {
         let layer = &layers[i];
         let table = percentile_table(&layer.samples);

@@ -69,3 +69,4 @@ pub use recovery::{
     RecoveryConfig, RecoveryEvent,
 };
 pub use summary::ConversionSummary;
+pub use ull_obs::MetricsSnapshot;

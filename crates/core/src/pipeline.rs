@@ -87,6 +87,11 @@ pub struct PipelineReport {
     /// Defaults to empty when reading reports written by older versions.
     #[serde(default)]
     pub recovery_events: Vec<String>,
+    /// Observability snapshot (span timings, spike/MAC counters) taken at
+    /// the end of the run. `None` unless `ull-obs` was enabled
+    /// (`ULL_TRACE`/`ULL_METRICS`); absent in reports from older versions.
+    #[serde(default)]
+    pub metrics: Option<ull_obs::MetricsSnapshot>,
 }
 
 /// Trains the DNN, converts it, fine-tunes the SNN, and reports the three
@@ -104,6 +109,7 @@ pub fn run_pipeline(
     rng: &mut StdRng,
 ) -> Result<(PipelineReport, SnnNetwork), ConvertError> {
     // Phase (a): DNN training with the paper's step-decay schedule.
+    let phase_span = ull_obs::span("pipeline.train_dnn");
     let dnn_start = std::time::Instant::now();
     // Warmup + gradient clipping stabilise batch-norm-free deep nets.
     let sgd = Sgd::new(cfg.dnn_sgd).with_clip(5.0);
@@ -118,12 +124,16 @@ pub fn run_pipeline(
     }
     let dnn_seconds = dnn_start.elapsed().as_secs_f64();
     let dnn_accuracy = evaluate(dnn, test_data, cfg.batch_size);
+    drop(phase_span);
 
     // Phase (b): conversion.
+    let phase_span = ull_obs::span("pipeline.convert");
     let (mut snn, scalings) = convert(dnn, train_data, cfg.method, cfg.time_steps)?;
     let (converted_accuracy, _) = evaluate_snn(&snn, test_data, cfg.time_steps, cfg.batch_size);
+    drop(phase_span);
 
     // Phase (c): SGL fine-tuning of weights, thresholds and leaks.
+    let phase_span = ull_obs::span("pipeline.finetune_snn");
     let snn_start = std::time::Instant::now();
     let snn_sgd = SnnSgd::new(cfg.snn_sgd).with_clip(5.0);
     let stcfg = SnnTrainConfig {
@@ -151,6 +161,7 @@ pub fn run_pipeline(
         }
     }
     let snn_seconds = snn_start.elapsed().as_secs_f64();
+    drop(phase_span);
 
     Ok((
         PipelineReport {
@@ -162,6 +173,7 @@ pub fn run_pipeline(
             snn_seconds,
             time_steps: cfg.time_steps,
             recovery_events: Vec::new(),
+            metrics: ull_obs::enabled().then(ull_obs::snapshot),
         },
         best_snn,
     ))

@@ -333,6 +333,7 @@ fn rollback(
     rng: &mut StdRng,
     reason: String,
 ) -> Result<(), PipelineError> {
+    ull_obs::counter_add("recovery.rollbacks", 1);
     let retries = state.ckpt.retries_used + 1;
     if retries > rcfg.max_retries {
         return Err(PipelineError::Train(TrainError::Diverged {
@@ -480,6 +481,7 @@ pub fn resume_pipeline_with_faults(
 ) -> Result<(PipelineReport, SnnNetwork), PipelineError> {
     let (ckpt, meta, _path) = load_latest::<PipelineCheckpoint>(&rcfg.checkpoint_dir)?;
     let state = restore(ckpt, &meta, dnn, rng)?;
+    ull_obs::counter_add("recovery.resumes", 1);
     drive(dnn, train_data, test_data, cfg, rcfg, rng, plan, state)
 }
 
@@ -500,6 +502,7 @@ pub fn run_or_resume_pipeline(
     match load_latest::<PipelineCheckpoint>(&rcfg.checkpoint_dir) {
         Ok((ckpt, meta, _path)) => {
             let state = restore(ckpt, &meta, dnn, rng)?;
+            ull_obs::counter_add("recovery.resumes", 1);
             drive(
                 dnn,
                 train_data,
@@ -531,6 +534,7 @@ fn drive(
 
     // ---- Phase (a): DNN training -------------------------------------
     if state.phase == PipelinePhase::DnnTrain {
+        let phase_span = ull_obs::span("pipeline.train_dnn");
         // Base checkpoint so even an epoch-0 failure has a rollback target.
         if state.epoch == 0 {
             commit(&state, rcfg, rng)?;
@@ -605,7 +609,10 @@ fn drive(
             }
         }
 
+        drop(phase_span);
+
         // ---- Phase (b): conversion (deterministic, no RNG) -----------
+        let phase_span = ull_obs::span("pipeline.convert");
         state.ckpt.dnn_accuracy = evaluate(&state.ckpt.dnn, test_data, cfg.batch_size);
         let (snn, scalings) = convert(&state.ckpt.dnn, train_data, cfg.method, cfg.time_steps)?;
         let (converted_accuracy, _) = evaluate_snn(&snn, test_data, cfg.time_steps, cfg.batch_size);
@@ -620,9 +627,11 @@ fn drive(
         // Commit the phase transition so a crash during SGL never redoes
         // DNN training or conversion.
         commit(&state, rcfg, rng)?;
+        drop(phase_span);
     }
 
     // ---- Phase (c): SGL fine-tuning ----------------------------------
+    let phase_span = ull_obs::span("pipeline.finetune_snn");
     let stcfg = SnnTrainConfig {
         batch_size: cfg.batch_size,
         time_steps: cfg.time_steps,
@@ -700,6 +709,8 @@ fn drive(
         }
     }
 
+    drop(phase_span);
+
     *dnn = state.ckpt.dnn.clone();
     let best_snn = state
         .ckpt
@@ -716,6 +727,7 @@ fn drive(
             snn_seconds: state.ckpt.snn_seconds,
             time_steps: cfg.time_steps,
             recovery_events: state.ckpt.events.clone(),
+            metrics: ull_obs::enabled().then(ull_obs::snapshot),
         },
         best_snn,
     ))

@@ -188,6 +188,51 @@ mod tests {
                 .filter(|n| matches!(n.op, NodeOp::Conv2d { .. } | NodeOp::Linear { .. }))
                 .count()
         );
+        // basic_block puts an activation *after* every Add, so although the
+        // graph contains residual merges, each weighted layer sees a
+        // ThresholdRelu (or the input) first — never a raw Add.
+        assert!(net.nodes().iter().any(|n| matches!(n.op, NodeOp::Add)));
+        assert_eq!(audit.layers[0].source, SourceKind::Analog);
+        for l in &audit.layers[1..] {
+            assert!(
+                matches!(l.source, SourceKind::Spiking(_)),
+                "layer {} has source {:?}",
+                l.node,
+                l.source
+            );
+        }
+    }
+
+    #[test]
+    fn unactivated_residual_merge_classifies_as_residual() {
+        // A pre-activation-style merge: the conv after the Add has no
+        // activation in between, so its input current mixes a spike train
+        // with an analog branch. That must hit the `Residual` branch, and
+        // the probe must point at the nearest real activation upstream.
+        let mut b = NetworkBuilder::new(3, 8, 7);
+        b.conv2d(4, 3, 1, 1);
+        b.threshold_relu(1.0);
+        let skip = b.cursor();
+        b.conv2d(4, 3, 1, 1);
+        let main = b.cursor();
+        b.add(main, skip, (4, 8, 8));
+        b.conv2d(4, 3, 1, 1); // fed directly by the Add
+        b.flatten();
+        b.linear(2);
+        let net = b.build();
+        let audit = audit_dnn(&net, &[3, 8, 8]);
+        let post_merge = audit
+            .layers
+            .iter()
+            .find(|l| matches!(l.source, SourceKind::Residual(_)))
+            .expect("no layer classified as Residual");
+        let SourceKind::Residual(probe) = post_merge.source else {
+            unreachable!()
+        };
+        assert!(
+            matches!(net.nodes()[probe].op, NodeOp::ThresholdRelu { .. }),
+            "residual probe {probe} is not an activation"
+        );
     }
 
     #[test]

@@ -206,6 +206,8 @@ pub fn save_with_meta<T: Serialize>(
         ("checksum".to_string(), Value::U64(checksum)),
     ]);
     let json = serde_json::to_string_pretty(&envelope).expect("serializing a Value cannot fail");
+    ull_obs::counter_add("checkpoint.saves", 1);
+    ull_obs::counter_add("checkpoint.bytes", json.len() as u64);
     let tmp = tmp_path(path);
     {
         let mut f = fs::File::create(&tmp)?;

@@ -19,9 +19,16 @@ pub fn top_k_accuracy(logits: &Tensor, labels: &[usize], k: usize) -> f32 {
     for (r, &y) in labels.iter().enumerate() {
         let row = &logits.data()[r * classes..(r + 1) * classes];
         let target = row[y];
-        // Count entries strictly greater than the target's logit; ties
-        // resolve in favour of the target (standard convention).
-        let better = row.iter().filter(|&&v| v > target).count();
+        // Rank of the target: entries strictly greater, plus ties at
+        // *earlier* indices. This is the argmax-first-maximum convention
+        // the rest of the workspace predicts with, and it keeps degenerate
+        // rows honest — all-equal logits rank the target at its own index
+        // instead of scoring 100% top-1.
+        let better = row
+            .iter()
+            .enumerate()
+            .filter(|&(j, &v)| v > target || (v == target && j < y))
+            .count();
         if better < k {
             hits += 1;
         }
@@ -128,6 +135,31 @@ mod tests {
         assert_eq!(top_k_accuracy(&logits, &[2], 1), 0.0);
         assert_eq!(top_k_accuracy(&logits, &[2], 3), 1.0);
         assert_eq!(top_k_accuracy(&logits, &[1], 2), 1.0);
+    }
+
+    #[test]
+    fn constant_logits_score_at_chance_not_one() {
+        // Regression: strictly-greater counting alone ranked every class
+        // first on an all-equal row, scoring 100% top-1 on garbage logits.
+        let classes = 4;
+        let logits = Tensor::from_vec(vec![0.5; classes * classes], &[classes, classes]).unwrap();
+        let labels: Vec<usize> = (0..classes).collect();
+        for k in 1..=classes {
+            let acc = top_k_accuracy(&logits, &labels, k);
+            let expected = k as f32 / classes as f32;
+            assert!((acc - expected).abs() < 1e-6, "k={k}: {acc} vs {expected}");
+        }
+    }
+
+    #[test]
+    fn ties_at_later_indices_favour_the_target() {
+        // Target at index 0 ties with index 2: the earlier index wins the
+        // tie, so top-1 counts it; a target at index 2 tying with index 0
+        // is ranked second and needs k=2.
+        let logits = Tensor::from_vec(vec![0.7, 0.1, 0.7], &[1, 3]).unwrap();
+        assert_eq!(top_k_accuracy(&logits, &[0], 1), 1.0);
+        assert_eq!(top_k_accuracy(&logits, &[2], 1), 0.0);
+        assert_eq!(top_k_accuracy(&logits, &[2], 2), 1.0);
     }
 
     #[test]

@@ -117,6 +117,7 @@ pub fn train_epoch(
     cfg: &TrainConfig,
     rng: &mut StdRng,
 ) -> EpochStats {
+    let _span = ull_obs::span("nn.train_epoch");
     let start = std::time::Instant::now();
     let augment = Augment {
         pad: cfg.augment_pad,
@@ -126,6 +127,7 @@ pub fn train_epoch(
     let mut correct = 0usize;
     let mut seen = 0usize;
     for mut batch in train.epoch_batches(cfg.batch_size, rng) {
+        ull_obs::counter_add("nn.train.batches", 1);
         augment.apply(&mut batch.images, rng);
         let tape = net.forward_train(&batch.images, rng);
         let logits = &tape[net.output()].activation;
@@ -189,6 +191,7 @@ pub fn train_epoch_with_hook(
     rng: &mut StdRng,
     hook: &mut dyn FnMut(&mut Network, usize),
 ) -> Result<EpochStats, TrainError> {
+    let _span = ull_obs::span("nn.train_epoch");
     let start = std::time::Instant::now();
     let augment = Augment {
         pad: cfg.augment_pad,
@@ -198,6 +201,7 @@ pub fn train_epoch_with_hook(
     let mut correct = 0usize;
     let mut seen = 0usize;
     for (b, mut batch) in train.epoch_batches(cfg.batch_size, rng).enumerate() {
+        ull_obs::counter_add("nn.train.batches", 1);
         augment.apply(&mut batch.images, rng);
         let tape = net.forward_train(&batch.images, rng);
         let logits = &tape[net.output()].activation;
@@ -247,6 +251,7 @@ fn check_grads_finite(net: &Network, batch: usize) -> Result<(), TrainError> {
 
 /// Top-1 accuracy of `net` on `data` (evaluation mode, no augmentation).
 pub fn evaluate(net: &Network, data: &Dataset, batch_size: usize) -> f32 {
+    let _span = ull_obs::span("nn.evaluate");
     let mut correct = 0usize;
     let mut seen = 0usize;
     for batch in data.eval_batches(batch_size) {

@@ -1,0 +1,655 @@
+//! Observability for the DNN→SNN pipeline: tracing spans, run metrics and
+//! per-layer profiling — dependency-free (std + the vendored serde shims).
+//!
+//! Three facilities share one process-wide registry:
+//!
+//! * **Spans** — nestable RAII timers ([`span`]) with monotonic-clock
+//!   durations, aggregated per *path* (the `/`-joined chain of enclosing
+//!   span labels, e.g. `pipeline.sgl/snn.forward_train/tensor.conv2d`).
+//!   Worker threads of `ull_tensor::parallel` inherit the spawning
+//!   thread's path via [`current_path`]/[`with_parent_path`], so kernel
+//!   time spent on the pool rolls up under the parent span.
+//! * **Counters and gauges** — monotonically accumulating event counts
+//!   ([`counter_add`]: spikes, MACs, checkpoint bytes, α/β candidates…)
+//!   and last-write-wins values ([`gauge_set`]: neurons per layer).
+//! * **Sinks** — an in-memory [`MetricsSnapshot`] (serde-serializable;
+//!   `ull-core` merges it into `PipelineReport` and the `reports/*.json`
+//!   artifacts) plus an optional JSONL event stream ([`TraceEvent`] per
+//!   line) activated by `ULL_TRACE=<path>`.
+//!
+//! # The disabled fast path
+//!
+//! Instrumentation is **off by default**. Every entry point first performs
+//! exactly one relaxed atomic load and returns immediately when disabled —
+//! no clock reads, no allocation, no locks — so instrumented hot paths stay
+//! within the ≤2% overhead budget asserted by `ull-bench`'s `obs_overhead`
+//! binary. Binaries opt in with [`init_from_env`] (honouring `ULL_TRACE`
+//! and `ULL_METRICS=1`) or programmatically with [`set_enabled`].
+//!
+//! Instrumentation never alters numerics: enabled or not, all kernels and
+//! training loops produce bit-identical outputs.
+//!
+//! # Example
+//!
+//! ```
+//! let _lock = ull_obs::test_lock();
+//! ull_obs::reset();
+//! ull_obs::set_enabled(true);
+//! {
+//!     let _outer = ull_obs::span("epoch");
+//!     let _inner = ull_obs::span("matmul");
+//!     ull_obs::counter_add("macs", 1024);
+//! }
+//! let snap = ull_obs::snapshot();
+//! assert_eq!(snap.spans["epoch/matmul"].count, 1);
+//! assert_eq!(snap.counters["macs"], 1024);
+//! ull_obs::set_enabled(false);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::cell::{Cell, RefCell};
+use std::collections::{BTreeMap, HashMap};
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+use std::time::Instant;
+
+use serde::{Deserialize, Serialize};
+
+// ---------------------------------------------------------------------------
+// Enable flag — the one atomic every disabled call site pays.
+// ---------------------------------------------------------------------------
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Whether instrumentation is currently collecting. One relaxed load.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Turns collection on or off process-wide. Turning it off does not clear
+/// aggregates (see [`reset`]) or close an open trace (see [`close_trace`]).
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Initialises from the environment: `ULL_TRACE=<path>` opens the JSONL
+/// event stream at `<path>` and enables collection; otherwise
+/// `ULL_METRICS=1` enables in-memory aggregation only. Returns whether
+/// collection ended up enabled. Call once from binaries; libraries never
+/// self-enable.
+pub fn init_from_env() -> bool {
+    if let Some(path) = std::env::var_os("ULL_TRACE") {
+        if let Err(e) = open_trace(&path) {
+            eprintln!("ULL_TRACE: cannot open {path:?}: {e}");
+        }
+        set_enabled(true);
+        return true;
+    }
+    if std::env::var("ULL_METRICS")
+        .map(|v| v == "1")
+        .unwrap_or(false)
+    {
+        set_enabled(true);
+        return true;
+    }
+    false
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+/// Aggregate of all completed spans sharing one path.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SpanStat {
+    /// Completed spans on this path.
+    pub count: u64,
+    /// Summed duration, nanoseconds.
+    pub total_ns: u64,
+    /// Longest single span, nanoseconds.
+    pub max_ns: u64,
+}
+
+struct Registry {
+    epoch: Instant,
+    spans: Mutex<HashMap<String, SpanStat>>,
+    counters: Mutex<HashMap<String, u64>>,
+    gauges: Mutex<HashMap<String, u64>>,
+    trace: Mutex<Option<BufWriter<File>>>,
+}
+
+fn registry() -> &'static Registry {
+    static REG: OnceLock<Registry> = OnceLock::new();
+    REG.get_or_init(|| Registry {
+        epoch: Instant::now(),
+        spans: Mutex::new(HashMap::new()),
+        counters: Mutex::new(HashMap::new()),
+        gauges: Mutex::new(HashMap::new()),
+        trace: Mutex::new(None),
+    })
+}
+
+fn lock<'a, T>(m: &'a Mutex<T>) -> MutexGuard<'a, T> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// Small per-thread ordinal for trace events (`ThreadId` has no stable
+/// numeric accessor). Assigned on first use, in first-use order.
+fn thread_ordinal() -> u64 {
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    thread_local! {
+        static ORDINAL: Cell<u64> = const { Cell::new(u64::MAX) };
+    }
+    ORDINAL.with(|c| {
+        let v = c.get();
+        if v != u64::MAX {
+            return v;
+        }
+        let v = NEXT.fetch_add(1, Ordering::Relaxed);
+        c.set(v);
+        v
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Spans
+// ---------------------------------------------------------------------------
+
+thread_local! {
+    /// The `/`-joined labels of the spans currently open on this thread.
+    static PATH: RefCell<String> = const { RefCell::new(String::new()) };
+}
+
+/// RAII span timer returned by [`span`]. Dropping it stops the clock and
+/// folds the duration into the per-path aggregate (and the trace, if one
+/// is open). Inert — a single `None` — when collection is disabled.
+#[must_use = "a span measures the scope it lives in; bind it to a variable"]
+pub struct SpanGuard(Option<ActiveSpan>);
+
+struct ActiveSpan {
+    label: &'static str,
+    /// Byte length of the thread path *before* this span pushed its label,
+    /// restored on drop.
+    prev_len: usize,
+    start: Instant,
+}
+
+/// Opens a span named `label` lasting until the guard drops. Nested spans
+/// aggregate under the `/`-joined path of their enclosing labels.
+#[inline]
+pub fn span(label: &'static str) -> SpanGuard {
+    if !enabled() {
+        return SpanGuard(None);
+    }
+    let prev_len = PATH.with(|p| {
+        let mut p = p.borrow_mut();
+        let prev = p.len();
+        if !p.is_empty() {
+            p.push('/');
+        }
+        p.push_str(label);
+        prev
+    });
+    SpanGuard(Some(ActiveSpan {
+        label,
+        prev_len,
+        start: Instant::now(),
+    }))
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(active) = self.0.take() else { return };
+        let dur = active.start.elapsed();
+        let path = PATH.with(|p| {
+            let mut p = p.borrow_mut();
+            let full = p.clone();
+            p.truncate(active.prev_len);
+            full
+        });
+        let dur_ns = dur.as_nanos().min(u64::MAX as u128) as u64;
+        let reg = registry();
+        {
+            let mut spans = lock(&reg.spans);
+            let stat = spans.entry(path.clone()).or_default();
+            stat.count += 1;
+            stat.total_ns += dur_ns;
+            stat.max_ns = stat.max_ns.max(dur_ns);
+        }
+        let start_us = active
+            .start
+            .duration_since(reg.epoch)
+            .as_micros()
+            .min(u64::MAX as u128) as u64;
+        write_trace(&TraceEvent::Span {
+            path,
+            label: active.label.to_string(),
+            thread: thread_ordinal(),
+            start_us,
+            dur_us: dur_ns / 1_000,
+        });
+    }
+}
+
+/// The current thread's open-span path (empty when none, or when
+/// collection is disabled). Pool entry points capture this once before
+/// spawning so workers can adopt it with [`with_parent_path`].
+pub fn current_path() -> String {
+    if !enabled() {
+        return String::new();
+    }
+    PATH.with(|p| p.borrow().clone())
+}
+
+/// Runs `f` with the thread's span path set to `parent` (as captured by
+/// [`current_path`] on the spawning thread), restoring the previous path
+/// afterwards. With an empty `parent` this is exactly `f()`.
+pub fn with_parent_path<R>(parent: &str, f: impl FnOnce() -> R) -> R {
+    if parent.is_empty() {
+        return f();
+    }
+    let saved = PATH.with(|p| std::mem::replace(&mut *p.borrow_mut(), parent.to_string()));
+    let r = f();
+    PATH.with(|p| *p.borrow_mut() = saved);
+    r
+}
+
+// ---------------------------------------------------------------------------
+// Counters and gauges
+// ---------------------------------------------------------------------------
+
+/// Adds `delta` to the counter `key`. Counters only ever accumulate;
+/// [`reset`] zeroes them.
+#[inline]
+pub fn counter_add(key: &str, delta: u64) {
+    if !enabled() || delta == 0 {
+        return;
+    }
+    *lock(&registry().counters)
+        .entry(key.to_string())
+        .or_insert(0) += delta;
+    write_trace(&TraceEvent::Counter {
+        key: key.to_string(),
+        delta,
+        thread: thread_ordinal(),
+    });
+}
+
+/// Adds `delta` to the indexed counter `key.index` (e.g. per-node spike
+/// counters `snn.spikes.node.7`). The key string is only built when
+/// collection is enabled.
+#[inline]
+pub fn counter_add_indexed(key: &str, index: usize, delta: u64) {
+    if !enabled() || delta == 0 {
+        return;
+    }
+    counter_add(&format!("{key}.{index}"), delta);
+}
+
+/// Sets the gauge `key` to `value` (last write wins).
+#[inline]
+pub fn gauge_set(key: &str, value: u64) {
+    if !enabled() {
+        return;
+    }
+    lock(&registry().gauges).insert(key.to_string(), value);
+    write_trace(&TraceEvent::Gauge {
+        key: key.to_string(),
+        value,
+    });
+}
+
+/// Sets the indexed gauge `key.index` to `value`.
+#[inline]
+pub fn gauge_set_indexed(key: &str, index: usize, value: u64) {
+    if !enabled() {
+        return;
+    }
+    gauge_set(&format!("{key}.{index}"), value);
+}
+
+/// Emits a point-in-time marker into the trace (phase boundaries,
+/// recovery events). No in-memory aggregate.
+#[inline]
+pub fn mark(label: &str) {
+    if !enabled() {
+        return;
+    }
+    let reg = registry();
+    let at_us = reg.epoch.elapsed().as_micros().min(u64::MAX as u128) as u64;
+    write_trace(&TraceEvent::Mark {
+        label: label.to_string(),
+        at_us,
+    });
+}
+
+// ---------------------------------------------------------------------------
+// Trace sink (JSONL)
+// ---------------------------------------------------------------------------
+
+/// One line of the `ULL_TRACE` JSONL stream, externally tagged like
+/// serde_json: `{"Span":{...}}`, `{"Counter":{...}}`, …
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TraceEvent {
+    /// A completed span.
+    Span {
+        /// Full `/`-joined path, including this span's label.
+        path: String,
+        /// This span's own label (the path's last segment).
+        label: String,
+        /// Thread ordinal (first-use order, 0 = usually main).
+        thread: u64,
+        /// Start, microseconds since the process trace epoch.
+        start_us: u64,
+        /// Duration in microseconds.
+        dur_us: u64,
+    },
+    /// A counter increment.
+    Counter {
+        /// Counter key.
+        key: String,
+        /// Amount added.
+        delta: u64,
+        /// Thread ordinal.
+        thread: u64,
+    },
+    /// A gauge update.
+    Gauge {
+        /// Gauge key.
+        key: String,
+        /// New value.
+        value: u64,
+    },
+    /// A point-in-time marker.
+    Mark {
+        /// Marker label.
+        label: String,
+        /// Microseconds since the process trace epoch.
+        at_us: u64,
+    },
+}
+
+fn write_trace(event: &TraceEvent) {
+    let reg = registry();
+    let mut guard = lock(&reg.trace);
+    if let Some(w) = guard.as_mut() {
+        let line = serde_json::to_string(event).expect("TraceEvent serializes infallibly");
+        let _ = writeln!(w, "{line}");
+    }
+}
+
+/// Opens (or replaces) the JSONL trace sink at `path`. Does not by itself
+/// enable collection — callers normally go through [`init_from_env`].
+///
+/// # Errors
+///
+/// Returns the underlying I/O error if the file cannot be created.
+pub fn open_trace(path: impl AsRef<Path>) -> std::io::Result<()> {
+    let f = File::create(path)?;
+    *lock(&registry().trace) = Some(BufWriter::new(f));
+    Ok(())
+}
+
+/// Flushes buffered trace lines to disk (no-op without an open trace).
+pub fn flush_trace() {
+    if let Some(w) = lock(&registry().trace).as_mut() {
+        let _ = w.flush();
+    }
+}
+
+/// Flushes and closes the trace sink (no-op without an open trace).
+pub fn close_trace() {
+    if let Some(mut w) = lock(&registry().trace).take() {
+        let _ = w.flush();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot
+// ---------------------------------------------------------------------------
+
+/// A point-in-time copy of every aggregate, with deterministic (sorted)
+/// key order so serialized snapshots are directly diffable.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// Per-path span aggregates.
+    #[serde(default)]
+    pub spans: BTreeMap<String, SpanStat>,
+    /// Counter totals.
+    #[serde(default)]
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values.
+    #[serde(default)]
+    pub gauges: BTreeMap<String, u64>,
+}
+
+impl MetricsSnapshot {
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty() && self.counters.is_empty() && self.gauges.is_empty()
+    }
+
+    /// Sum of `prefix`-keyed counters (e.g. all `snn.spikes.node.*`).
+    pub fn counter_prefix_sum(&self, prefix: &str) -> u64 {
+        self.counters
+            .iter()
+            .filter(|(k, _)| k.starts_with(prefix))
+            .map(|(_, &v)| v)
+            .sum()
+    }
+}
+
+/// Copies the current aggregates into a [`MetricsSnapshot`].
+pub fn snapshot() -> MetricsSnapshot {
+    let reg = registry();
+    MetricsSnapshot {
+        spans: lock(&reg.spans)
+            .iter()
+            .map(|(k, v)| (k.clone(), *v))
+            .collect(),
+        counters: lock(&reg.counters)
+            .iter()
+            .map(|(k, v)| (k.clone(), *v))
+            .collect(),
+        gauges: lock(&reg.gauges)
+            .iter()
+            .map(|(k, v)| (k.clone(), *v))
+            .collect(),
+    }
+}
+
+/// Clears every span, counter and gauge aggregate (the enable flag and the
+/// trace sink are untouched). Call between phases for per-phase snapshots.
+pub fn reset() {
+    let reg = registry();
+    lock(&reg.spans).clear();
+    lock(&reg.counters).clear();
+    lock(&reg.gauges).clear();
+}
+
+/// Serializes tests that mutate the process-wide registry or enable flag,
+/// so parallel test threads cannot race each other. Poison-proof.
+#[doc(hidden)]
+pub fn test_lock() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    match LOCK.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_trace(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("ull-obs-{}-{tag}.jsonl", std::process::id()))
+    }
+
+    #[test]
+    fn disabled_calls_record_nothing() {
+        let _lock = test_lock();
+        reset();
+        set_enabled(false);
+        {
+            let _g = span("never");
+            counter_add("never", 7);
+            gauge_set("never", 9);
+        }
+        assert!(snapshot().is_empty());
+        assert_eq!(current_path(), "");
+    }
+
+    #[test]
+    fn spans_nest_into_paths_and_aggregate() {
+        let _lock = test_lock();
+        reset();
+        set_enabled(true);
+        for _ in 0..3 {
+            let _outer = span("outer");
+            let _inner = span("inner");
+        }
+        {
+            let _solo = span("outer");
+        }
+        set_enabled(false);
+        let snap = snapshot();
+        assert_eq!(snap.spans["outer"].count, 4);
+        assert_eq!(snap.spans["outer/inner"].count, 3);
+        assert!(snap.spans["outer"].total_ns >= snap.spans["outer"].max_ns);
+        // The path stack fully unwound.
+        assert_eq!(PATH.with(|p| p.borrow().len()), 0);
+    }
+
+    #[test]
+    fn worker_threads_inherit_the_parent_path() {
+        let _lock = test_lock();
+        reset();
+        set_enabled(true);
+        {
+            let _outer = span("parent");
+            let parent = current_path();
+            assert_eq!(parent, "parent");
+            std::thread::scope(|s| {
+                s.spawn(|| {
+                    with_parent_path(&parent, || {
+                        let _k = span("kernel");
+                    });
+                    // The worker's own path is restored afterwards.
+                    assert_eq!(PATH.with(|p| p.borrow().clone()), "");
+                });
+            });
+        }
+        set_enabled(false);
+        let snap = snapshot();
+        assert_eq!(snap.spans["parent/kernel"].count, 1);
+    }
+
+    #[test]
+    fn counters_accumulate_and_gauges_overwrite() {
+        let _lock = test_lock();
+        reset();
+        set_enabled(true);
+        counter_add("macs", 10);
+        counter_add("macs", 5);
+        counter_add_indexed("spikes.node", 3, 2);
+        counter_add_indexed("spikes.node", 3, 4);
+        counter_add("zero", 0); // no-op by contract
+        gauge_set("neurons", 100);
+        gauge_set("neurons", 200);
+        set_enabled(false);
+        let snap = snapshot();
+        assert_eq!(snap.counters["macs"], 15);
+        assert_eq!(snap.counters["spikes.node.3"], 6);
+        assert!(!snap.counters.contains_key("zero"));
+        assert_eq!(snap.gauges["neurons"], 200);
+        assert_eq!(snap.counter_prefix_sum("spikes.node."), 6);
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_json() {
+        let _lock = test_lock();
+        reset();
+        set_enabled(true);
+        {
+            let _g = span("a");
+            counter_add("c", 3);
+            gauge_set("g", 4);
+        }
+        set_enabled(false);
+        let snap = snapshot();
+        let json = serde_json::to_string(&snap).unwrap();
+        let back: MetricsSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(snap, back);
+    }
+
+    #[test]
+    fn trace_file_holds_parseable_events() {
+        let _lock = test_lock();
+        reset();
+        let path = temp_trace("events");
+        open_trace(&path).unwrap();
+        set_enabled(true);
+        {
+            let _g = span("traced");
+            counter_add("c", 1);
+            gauge_set("g", 2);
+            mark("phase");
+        }
+        set_enabled(false);
+        close_trace();
+        let body = std::fs::read_to_string(&path).unwrap();
+        let events: Vec<TraceEvent> = body
+            .lines()
+            .map(|l| serde_json::from_str(l).expect("every line parses"))
+            .collect();
+        std::fs::remove_file(&path).ok();
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, TraceEvent::Span { path, .. } if path == "traced")));
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, TraceEvent::Counter { key, delta: 1, .. } if key == "c")));
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, TraceEvent::Gauge { key, value: 2 } if key == "g")));
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, TraceEvent::Mark { label, .. } if label == "phase")));
+    }
+
+    #[test]
+    fn reset_clears_aggregates_but_not_the_flag() {
+        let _lock = test_lock();
+        reset();
+        set_enabled(true);
+        counter_add("c", 1);
+        reset();
+        assert!(snapshot().is_empty());
+        assert!(enabled());
+        set_enabled(false);
+    }
+
+    #[test]
+    fn trace_event_round_trips() {
+        let e = TraceEvent::Span {
+            path: "a/b".into(),
+            label: "b".into(),
+            thread: 1,
+            start_us: 10,
+            dur_us: 5,
+        };
+        let json = serde_json::to_string(&e).unwrap();
+        let back: TraceEvent = serde_json::from_str(&json).unwrap();
+        assert_eq!(e, back);
+    }
+}

@@ -48,7 +48,18 @@ impl InputEncoding {
                 let mut out = Tensor::zeros(x.shape());
                 let od = out.data_mut();
                 for (o, &v) in od.iter_mut().zip(x.data()) {
-                    let p = (v - lo) / span * max_rate;
+                    // A constant image (hi == lo) or a max_rate outside
+                    // (0, 1] would otherwise produce probabilities beyond
+                    // [0, 1] — or NaN on non-finite pixels — so clamp the
+                    // firing probability. Exactly one RNG draw per element
+                    // regardless, to keep the stream position (and thus
+                    // every downstream sample) independent of pixel values.
+                    let raw = (v - lo) / span * max_rate;
+                    let p = if raw.is_finite() {
+                        raw.clamp(0.0, 1.0)
+                    } else {
+                        0.0
+                    };
                     if rng.gen::<f32>() < p {
                         *o = 1.0;
                     }
@@ -75,6 +86,7 @@ impl SnnNetwork {
         rng: &mut StdRng,
     ) -> SnnOutput {
         assert!(t_steps > 0, "need at least one time step");
+        let _span = ull_obs::span("snn.forward");
         let batch = x.shape()[0];
         let mut stats = SpikeStats::new(self.nodes().len(), batch, t_steps);
         let mut membranes: Vec<Option<Tensor>> = vec![None; self.nodes().len()];
@@ -89,6 +101,8 @@ impl SnnNetwork {
         }
         let mut logits = logits.expect("at least one step ran");
         logits.scale_in_place(1.0 / t_steps as f32);
+        ull_obs::counter_add("snn.forward.images", batch as u64);
+        stats.publish_to_obs();
         SnnOutput { logits, stats }
     }
 }
@@ -150,6 +164,41 @@ mod tests {
             (dark as f32) / (trials as f32) < 0.05,
             "dark rate {dark}/{trials}"
         );
+    }
+
+    #[test]
+    fn constant_image_never_spikes_but_advances_the_rng() {
+        // Regression: a constant image used to divide by the clamped span
+        // 1e-6, and out-of-range probabilities were passed to the Bernoulli
+        // draw unclamped. All pixels sit at the minimum, so none may fire —
+        // and the encoder must still consume one draw per element so the
+        // stream position does not depend on pixel values.
+        let x = Tensor::full(&[1, 2, 4, 4], 0.37);
+        let enc = InputEncoding::PoissonRate { max_rate: 1.0 };
+        let mut rng = seeded_rng(42);
+        let xt = enc.encode_step(&x, &mut rng);
+        assert!(xt.data().iter().all(|&v| v == 0.0), "constant image spiked");
+        let mut reference = seeded_rng(42);
+        for _ in 0..x.len() {
+            let _: f32 = reference.gen();
+        }
+        assert_eq!(rng.gen::<f32>(), reference.gen::<f32>());
+    }
+
+    #[test]
+    fn out_of_range_rates_clamp_to_certain_or_never() {
+        // max_rate > 1 must saturate at "fires every step", not feed a
+        // probability > 1 into the sampler; a negative rate never fires.
+        let x =
+            Tensor::from_vec((0..32).map(|i| i as f32 / 31.0).collect(), &[1, 2, 4, 4]).unwrap();
+        let always = InputEncoding::PoissonRate { max_rate: 100.0 };
+        for _ in 0..8 {
+            let xt = always.encode_step(&x, &mut seeded_rng(3));
+            assert_eq!(xt.data()[31], 1.0, "brightest pixel must fire");
+        }
+        let never = InputEncoding::PoissonRate { max_rate: -1.0 };
+        let xt = never.encode_step(&x, &mut seeded_rng(3));
+        assert!(xt.data().iter().all(|&v| v == 0.0));
     }
 
     #[test]

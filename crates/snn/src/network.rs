@@ -417,30 +417,35 @@ impl SnnNetwork {
     /// Panics if `t_steps == 0` or shapes mismatch inside the graph.
     pub fn forward(&self, x: &Tensor, t_steps: usize) -> SnnOutput {
         assert!(t_steps > 0, "need at least one time step");
+        let _span = ull_obs::span("snn.forward");
         let batch = x.shape()[0];
         let threads = parallel::num_threads();
-        if threads <= 1 || batch < 2 {
-            return self.forward_chunk(x, t_steps);
-        }
-        let chunk = batch.div_ceil(threads);
-        let n_chunks = batch.div_ceil(chunk);
-        let parts = parallel::par_map(n_chunks, |ci| {
-            let lo = ci * chunk;
-            let hi = ((ci + 1) * chunk).min(batch);
-            self.forward_chunk(&x.slice_batch(lo, hi), t_steps)
-        });
-        // Merge in chunk (= batch) order: logit rows concatenate back into
-        // batch order and the integer spike counters sum exactly.
-        let mut stats = SpikeStats::new(self.nodes.len(), 0, t_steps);
-        let mut logit_parts = Vec::with_capacity(parts.len());
-        for p in parts {
-            stats.merge(&p.stats);
-            logit_parts.push(p.logits);
-        }
-        SnnOutput {
-            logits: Tensor::concat_batch(&logit_parts),
-            stats,
-        }
+        let out = if threads <= 1 || batch < 2 {
+            self.forward_chunk(x, t_steps)
+        } else {
+            let chunk = batch.div_ceil(threads);
+            let n_chunks = batch.div_ceil(chunk);
+            let parts = parallel::par_map(n_chunks, |ci| {
+                let lo = ci * chunk;
+                let hi = ((ci + 1) * chunk).min(batch);
+                self.forward_chunk(&x.slice_batch(lo, hi), t_steps)
+            });
+            // Merge in chunk (= batch) order: logit rows concatenate back
+            // into batch order and the integer spike counters sum exactly.
+            let mut stats = SpikeStats::new(self.nodes.len(), 0, t_steps);
+            let mut logit_parts = Vec::with_capacity(parts.len());
+            for p in parts {
+                stats.merge(&p.stats);
+                logit_parts.push(p.logits);
+            }
+            SnnOutput {
+                logits: Tensor::concat_batch(&logit_parts),
+                stats,
+            }
+        };
+        ull_obs::counter_add("snn.forward.images", batch as u64);
+        out.stats.publish_to_obs();
+        out
     }
 
     /// Serial simulation of one contiguous batch chunk — the single-thread
@@ -511,6 +516,7 @@ impl SnnNetwork {
     /// Dropout masks are sampled once and shared across time steps.
     pub fn forward_train(&self, x: &Tensor, t_steps: usize, rng: &mut StdRng) -> SnnTape {
         assert!(t_steps > 0, "need at least one time step");
+        let _span = ull_obs::span("snn.forward_train");
         let batch = x.shape()[0];
         // Pre-sample dropout masks (shapes discovered via a dry step).
         let mut stats = SpikeStats::new(self.nodes.len(), batch, t_steps);
@@ -548,6 +554,10 @@ impl SnnNetwork {
         }
         let mut logits = logits.expect("at least one step ran");
         logits.scale_in_place(1.0 / t_steps as f32);
+        // Publish only the real unrolled pass — the dropout-shape probe
+        // step above used throwaway stats and must not be counted.
+        ull_obs::counter_add("snn.forward.images", batch as u64);
+        stats.publish_to_obs();
         SnnTape {
             steps: t_steps,
             logits,
@@ -1074,6 +1084,37 @@ mod tests {
             trace_s.iter().map(|s| s[node]).collect::<Vec<_>>(),
             vec![0, 1, 0]
         );
+    }
+
+    #[test]
+    fn obs_counters_agree_with_spike_stats() {
+        let _guard = parallel::override_lock();
+        let _obs = ull_obs::test_lock();
+        ull_obs::reset();
+        ull_obs::set_enabled(true);
+        parallel::set_threads(1);
+        let snn = tiny_snn(60);
+        let x = normal(&[3, 2, 4, 4], 0.5, 1.0, &mut seeded_rng(61));
+        let out = snn.forward(&x, 4);
+        parallel::set_threads(0);
+        ull_obs::set_enabled(false);
+        let snap = ull_obs::snapshot();
+        // Per-node counters mirror SpikeStats exactly; the prefix sum is
+        // the whole-network total the energy audit reasons about.
+        for (id, &s) in out.stats.spikes_per_node().iter().enumerate() {
+            let key = format!("snn.spikes.node.{id}");
+            assert_eq!(snap.counters.get(&key).copied().unwrap_or(0), s, "{key}");
+        }
+        assert_eq!(
+            snap.counter_prefix_sum("snn.spikes.node."),
+            out.stats.spikes_per_node().iter().sum::<u64>()
+        );
+        assert_eq!(
+            snap.counters.get("snn.forward.images").copied(),
+            Some(3),
+            "one forward over a batch of 3"
+        );
+        assert_eq!(snap.spans["snn.forward"].count, 1);
     }
 
     #[test]

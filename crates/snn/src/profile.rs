@@ -118,6 +118,39 @@ mod tests {
     }
 
     #[test]
+    fn residual_topology_profiles_every_spike_layer() {
+        // The Add-node (shortcut) topology exercises the dry-run shape
+        // discovery: membrane accounting must cover the spike layers on
+        // both the main path and the post-merge activations, and the Add
+        // itself contributes no persistent state.
+        let dnn = ull_nn::models::resnet_micro(4, 8, 0.5, 23);
+        let specs = vec![SpikeSpec::identity(1.0); dnn.threshold_nodes().len()];
+        let snn = SnnNetwork::from_network(&dnn, &specs).unwrap();
+        assert!(
+            snn.nodes()
+                .iter()
+                .any(|n| matches!(n.op, crate::network::SnnOp::Add)),
+            "resnet_micro should contain a residual Add node"
+        );
+        let p = memory_profile(&snn, &[3, 8, 8]);
+        // Every spike layer holds one f32 membrane per neuron, and each
+        // contributes exactly its v_th + leak scalars to neuron params.
+        assert_eq!(p.membrane_bytes_per_sample, p.spiking_neurons * 4);
+        assert_eq!(p.neuron_param_bytes, snn.spike_nodes().len() * 2 * 4);
+        assert!(p.spiking_neurons > 0);
+        assert!(p.parameter_bytes > 0);
+        // A dry run must have sized *all* spike layers (none left at zero).
+        let x = Tensor::zeros(&[1, 3, 8, 8]);
+        let out = snn.forward(&x, 1);
+        for id in snn.spike_nodes() {
+            assert!(
+                out.stats.neurons_per_node()[id] > 0,
+                "spike node {id} was not sized"
+            );
+        }
+    }
+
+    #[test]
     fn membranes_are_independent_of_t() {
         // Inference state is O(neurons), not O(T) — the contrast with
         // training memory that Fig. 3 highlights.

@@ -57,23 +57,53 @@ impl SpikeStats {
     }
 
     /// Merges counters from another run over the same network (e.g. from
-    /// successive evaluation batches).
+    /// successive evaluation batches or parallel batch chunks).
+    ///
+    /// Per-node neuron counts must agree wherever both sides have seen the
+    /// node; a zero on either side (node not yet exercised — fresh
+    /// accumulators start all-zero) defers to the other. Disagreeing
+    /// non-zero counts mean the runs came from *different* networks and
+    /// the merged activity would be meaningless, so that panics instead of
+    /// silently keeping one side.
     ///
     /// # Panics
     ///
-    /// Panics if node counts or step counts differ.
+    /// Panics if node counts, step counts, or any per-node neuron counts
+    /// differ.
     pub fn merge(&mut self, other: &SpikeStats) {
         assert_eq!(self.spikes.len(), other.spikes.len(), "node count mismatch");
         assert_eq!(self.steps, other.steps, "step count mismatch");
         for (a, b) in self.spikes.iter_mut().zip(&other.spikes) {
             *a += b;
         }
-        for (a, &b) in self.neurons.iter_mut().zip(&other.neurons) {
-            if b != 0 {
-                *a = b;
+        for (id, (a, &b)) in self.neurons.iter_mut().zip(&other.neurons).enumerate() {
+            if b == 0 {
+                continue;
             }
+            assert!(
+                *a == 0 || *a == b,
+                "node {id}: neuron count mismatch ({a} vs {b}) — stats from different networks"
+            );
+            *a = b;
         }
         self.batch += other.batch;
+    }
+
+    /// Publishes these counters into the `ull-obs` registry: per-node
+    /// spike counters `snn.spikes.node.<id>` and neuron-count gauges
+    /// `snn.neurons.node.<id>`. Called once per *completed* forward pass
+    /// (not per step), so probe/dry-run steps never double-count. A no-op
+    /// when observability is disabled.
+    pub fn publish_to_obs(&self) {
+        if !ull_obs::enabled() {
+            return;
+        }
+        for (id, (&s, &n)) in self.spikes.iter().zip(&self.neurons).enumerate() {
+            ull_obs::counter_add_indexed("snn.spikes.node", id, s);
+            if n > 0 {
+                ull_obs::gauge_set_indexed("snn.neurons.node", id, n as u64);
+            }
+        }
     }
 
     /// Builds the per-image activity report.
@@ -176,6 +206,40 @@ mod tests {
     fn merge_rejects_different_steps() {
         let mut a = SpikeStats::new(1, 1, 2);
         let b = SpikeStats::new(1, 1, 3);
+        a.merge(&b);
+    }
+
+    #[test]
+    fn merge_fills_unseen_nodes_from_either_side() {
+        // Heterogeneous chunked runs: chunk A only exercised node 0, chunk
+        // B only node 1 (and the accumulator starts all-zero, exactly like
+        // `SnnNetwork::forward`'s batch-0 merge target). All neuron counts
+        // must survive the merge.
+        let mut acc = SpikeStats::new(2, 0, 2);
+        let mut a = SpikeStats::new(2, 1, 2);
+        a.record(0, 3, 8);
+        let mut b = SpikeStats::new(2, 1, 2);
+        b.record(1, 5, 6);
+        acc.merge(&a);
+        acc.merge(&b);
+        assert_eq!(acc.neurons_per_node(), &[8, 6]);
+        assert_eq!(acc.spikes_per_node(), &[3, 5]);
+        assert_eq!(acc.batch(), 2);
+        // Re-merging an agreeing run is fine.
+        acc.merge(&a);
+        assert_eq!(acc.neurons_per_node(), &[8, 6]);
+    }
+
+    #[test]
+    #[should_panic(expected = "neuron count mismatch")]
+    fn merge_rejects_disagreeing_neuron_counts() {
+        // Regression: `if b != 0 { *a = b }` used to silently overwrite
+        // node 0's neuron count with the other run's, corrupting the
+        // per-neuron rates when stats from different networks were mixed.
+        let mut a = SpikeStats::new(1, 1, 2);
+        a.record(0, 1, 8);
+        let mut b = SpikeStats::new(1, 1, 2);
+        b.record(0, 1, 4);
         a.merge(&b);
     }
 

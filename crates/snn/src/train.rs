@@ -306,6 +306,7 @@ pub fn train_snn_epoch(
     cfg: &SnnTrainConfig,
     rng: &mut StdRng,
 ) -> SnnEpochStats {
+    let _span = ull_obs::span("snn.train_epoch");
     let start = std::time::Instant::now();
     let augment = Augment {
         pad: cfg.augment_pad,
@@ -316,6 +317,7 @@ pub fn train_snn_epoch(
     let mut seen = 0usize;
     let mut tape_bytes = 0usize;
     for mut batch in train.epoch_batches(cfg.batch_size, rng) {
+        ull_obs::counter_add("snn.train.batches", 1);
         augment.apply(&mut batch.images, rng);
         let tape = net.forward_train(&batch.images, cfg.time_steps, rng);
         tape_bytes = tape_bytes.max(tape.memory_bytes());
@@ -383,6 +385,7 @@ pub fn train_snn_epoch_with_hook(
     rng: &mut StdRng,
     hook: &mut dyn FnMut(&mut SnnNetwork, usize),
 ) -> Result<SnnEpochStats, TrainError> {
+    let _span = ull_obs::span("snn.train_epoch");
     let start = std::time::Instant::now();
     let augment = Augment {
         pad: cfg.augment_pad,
@@ -393,6 +396,7 @@ pub fn train_snn_epoch_with_hook(
     let mut seen = 0usize;
     let mut tape_bytes = 0usize;
     for (b, mut batch) in train.epoch_batches(cfg.batch_size, rng).enumerate() {
+        ull_obs::counter_add("snn.train.batches", 1);
         augment.apply(&mut batch.images, rng);
         let tape = net.forward_train(&batch.images, cfg.time_steps, rng);
         tape_bytes = tape_bytes.max(tape.memory_bytes());
@@ -449,6 +453,7 @@ pub fn evaluate_snn(
     t: usize,
     batch_size: usize,
 ) -> (f32, SpikeStats) {
+    let _span = ull_obs::span("snn.evaluate");
     let mut correct = 0usize;
     let mut seen = 0usize;
     let mut merged: Option<SpikeStats> = None;

@@ -184,6 +184,7 @@ pub fn conv2d(input: &Tensor, weight: &Tensor, bias: Option<&Tensor>, geo: ConvG
         (geo.kh, geo.kw),
         "conv2d: weight kernel disagrees with geometry"
     );
+    let _span = ull_obs::span("tensor.conv2d");
     let (oh, ow) = geo.output_hw(h, w);
     let cols = im2col(input, geo);
     let w2 = weight
@@ -226,6 +227,7 @@ pub fn conv2d_backward(
         &[n, f, oh, ow],
         "conv2d_backward: grad_out shape mismatch"
     );
+    let _span = ull_obs::span("tensor.conv2d_backward");
     let cols = im2col(input, geo);
     let g2 = nchw_to_rows(grad_out); // [N·OH·OW, F]
     let w2 = weight

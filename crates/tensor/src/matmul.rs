@@ -15,6 +15,12 @@
 //! row blocks over [`crate::parallel`]. Every output element is
 //! accumulated in the same order as the serial loop regardless of the
 //! thread count, so results are bit-identical for any `ULL_THREADS`.
+//!
+//! Each kernel opens an `ull_obs` span and adds its *nominal* `m·k·n`
+//! multiply-accumulate count to the `tensor.macs` counter (the zero-skip
+//! below means fewer are actually executed on sparse spike matrices; the
+//! energy model in `ull-energy` accounts for that separately). With
+//! observability disabled this costs one atomic load per call.
 
 use crate::parallel;
 use crate::Tensor;
@@ -46,6 +52,8 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
     let (m, k) = dims2(a, "matmul lhs");
     let (k2, n) = dims2(b, "matmul rhs");
     assert_eq!(k, k2, "matmul: inner dims disagree ({k} vs {k2})");
+    let _span = ull_obs::span("tensor.matmul");
+    ull_obs::counter_add("tensor.macs", (m * k * n) as u64);
     let mut out = vec![0.0f32; m * n];
     let ad = a.data();
     let bd = b.data();
@@ -81,6 +89,8 @@ pub fn matmul_transpose_a(a: &Tensor, b: &Tensor) -> Tensor {
         k, k2,
         "matmul_transpose_a: leading dims disagree ({k} vs {k2})"
     );
+    let _span = ull_obs::span("tensor.matmul_ta");
+    ull_obs::counter_add("tensor.macs", (m * k * n) as u64);
     let mut out = vec![0.0f32; m * n];
     let ad = a.data();
     let bd = b.data();
@@ -121,6 +131,8 @@ pub fn matmul_transpose_b(a: &Tensor, b: &Tensor) -> Tensor {
         k, k2,
         "matmul_transpose_b: trailing dims disagree ({k} vs {k2})"
     );
+    let _span = ull_obs::span("tensor.matmul_tb");
+    ull_obs::counter_add("tensor.macs", (m * k * n) as u64);
     let mut out = vec![0.0f32; m * n];
     let ad = a.data();
     let bd = b.data();

@@ -126,15 +126,20 @@ where
     // is taken once per chunk; chunks are coarse (whole row blocks), so
     // contention is negligible against the work inside `f`.
     let queue = Mutex::new(data.chunks_mut(chunk_len).enumerate());
+    // Workers adopt the caller's open-span path so any spans inside `f`
+    // roll up under the span that issued this parallel call.
+    let parent = ull_obs::current_path();
     std::thread::scope(|s| {
         for _ in 0..threads.min(n_chunks) {
             s.spawn(|| {
-                as_pool_worker(|| loop {
-                    let next = queue.lock().expect("chunk queue poisoned").next();
-                    match next {
-                        Some((i, chunk)) => f(i, chunk),
-                        None => break,
-                    }
+                as_pool_worker(|| {
+                    ull_obs::with_parent_path(&parent, || loop {
+                        let next = queue.lock().expect("chunk queue poisoned").next();
+                        match next {
+                            Some((i, chunk)) => f(i, chunk),
+                            None => break,
+                        }
+                    })
                 })
             });
         }
@@ -154,16 +159,19 @@ where
     }
     let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
     let cursor = AtomicUsize::new(0);
+    let parent = ull_obs::current_path();
     std::thread::scope(|s| {
         for _ in 0..threads.min(n) {
             s.spawn(|| {
-                as_pool_worker(|| loop {
-                    let i = cursor.fetch_add(1, Ordering::Relaxed);
-                    if i >= n {
-                        break;
-                    }
-                    let value = f(i);
-                    *slots[i].lock().expect("result slot poisoned") = Some(value);
+                as_pool_worker(|| {
+                    ull_obs::with_parent_path(&parent, || loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        let value = f(i);
+                        *slots[i].lock().expect("result slot poisoned") = Some(value);
+                    })
                 })
             });
         }
@@ -192,8 +200,9 @@ where
         let rb = b();
         return (ra, rb);
     }
+    let parent = ull_obs::current_path();
     std::thread::scope(|s| {
-        let hb = s.spawn(|| as_pool_worker(b));
+        let hb = s.spawn(|| as_pool_worker(|| ull_obs::with_parent_path(&parent, b)));
         let ra = a();
         (ra, hb.join().expect("par_join worker panicked"))
     })
@@ -292,6 +301,28 @@ mod tests {
         });
         assert!(outer.iter().all(|&(_, same)| same));
         set_threads(0);
+    }
+
+    #[test]
+    fn worker_spans_roll_up_under_the_callers_span() {
+        let _guard = override_lock();
+        let _obs = ull_obs::test_lock();
+        ull_obs::reset();
+        ull_obs::set_enabled(true);
+        set_threads(4);
+        {
+            let _outer = ull_obs::span("outer");
+            let _ = par_map(8, |i| {
+                let _inner = ull_obs::span("work");
+                i * 2
+            });
+        }
+        set_threads(0);
+        ull_obs::set_enabled(false);
+        let snap = ull_obs::snapshot();
+        // Every per-item span lands on the parent path, none at top level.
+        assert_eq!(snap.spans["outer/work"].count, 8);
+        assert!(!snap.spans.contains_key("work"));
     }
 
     #[test]

@@ -12,10 +12,19 @@
 //! commits an atomic checkpoint every epoch and, if the directory already
 //! holds one (e.g. the previous run was killed), resumes from it and
 //! finishes bit-identically to an uninterrupted run.
+//!
+//! Set `ULL_TRACE=/some/file.jsonl` to stream observability events (span
+//! timings, spike/MAC counters) to a JSONL file, or `ULL_METRICS=1` for
+//! in-memory aggregation only; either way the report gains a metrics
+//! snapshot and a span summary is printed at the end.
 
+use ultralow_snn::obs;
 use ultralow_snn::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    if obs::init_from_env() {
+        println!("observability enabled (ULL_TRACE/ULL_METRICS)");
+    }
     // SynthCifar stands in for CIFAR-10 (DESIGN.md §2).
     let data_cfg = SynthCifarConfig::small(10);
     println!(
@@ -88,5 +97,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         activity.total_spikes_per_image(),
         activity.mean_spike_rate()
     );
+
+    if obs::enabled() {
+        let snap = obs::snapshot();
+        println!("\n=== observability ({} spans) ===", snap.spans.len());
+        let mut spans: Vec<_> = snap.spans.iter().collect();
+        spans.sort_by_key(|(_, s)| std::cmp::Reverse(s.total_ns));
+        for (path, s) in spans.iter().take(10) {
+            println!(
+                "{:<40} {:>8} calls  {:>10.3} ms total",
+                path,
+                s.count,
+                s.total_ns as f64 / 1e6
+            );
+        }
+        println!(
+            "spikes recorded: {}   nominal MACs: {}",
+            snap.counter_prefix_sum("snn.spikes.node."),
+            snap.counters.get("tensor.macs").copied().unwrap_or(0)
+        );
+        obs::flush_trace();
+    }
     Ok(())
 }

@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Observability smoke test: run the quickstart with ULL_TRACE pointed at a
+# JSONL file, require every emitted line to parse as a trace event
+# (obs_summary --validate), and require the per-layer activity counters to
+# be present. Then run the obs_overhead gate, which fails if the disabled
+# instrumentation path would cost more than 2% of a representative SNN
+# inference workload (see DESIGN.md, "Observability").
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+TRACE_DIR="$(mktemp -d)"
+trap 'rm -rf "$TRACE_DIR"' EXIT
+TRACE="$TRACE_DIR/quickstart.jsonl"
+
+cargo build --release --example quickstart
+cargo build --release -p ull-bench --bin obs_summary --bin obs_overhead
+
+echo "== instrumented quickstart (ULL_TRACE=$TRACE) =="
+ULL_TRACE="$TRACE" ./target/release/examples/quickstart
+
+echo "== validating trace =="
+./target/release/obs_summary --validate "$TRACE" | tee "$TRACE_DIR/summary.txt"
+
+# The trace must contain the span, counter, and per-layer activity streams
+# the summary is built from — an empty-but-parseable file must not pass.
+grep -q "per-layer spiking activity" "$TRACE_DIR/summary.txt"
+grep -q "tensor.macs" "$TRACE_DIR/summary.txt"
+grep -q "snn.train.batches" "$TRACE_DIR/summary.txt"
+
+echo "== overhead gate (disabled path must stay under 2%) =="
+./target/release/obs_overhead
+
+echo "obs smoke test passed"

@@ -22,6 +22,7 @@ pub use ull_data as data;
 pub use ull_energy as energy;
 pub use ull_grad as grad;
 pub use ull_nn as nn;
+pub use ull_obs as obs;
 pub use ull_snn as snn;
 pub use ull_tensor as tensor;
 
@@ -45,6 +46,7 @@ pub mod prelude {
         cross_entropy_grad, cross_entropy_loss, evaluate, models, train_epoch, LrSchedule, Network,
         NetworkBuilder, Sgd, SgdConfig, TrainConfig,
     };
+    pub use ull_obs::MetricsSnapshot;
     pub use ull_snn::{
         evaluate_snn, train_snn_epoch, ActivityReport, InputEncoding, SnnNetwork, SnnSgd,
         SnnTrainConfig, SpikeSpec, SpikeStats,
