@@ -61,7 +61,7 @@ pub use analysis::{
 pub use convert::convert_with_budget;
 pub use convert::{convert, ConversionMethod, ConvertError};
 pub use depth::{depth_error_report, DepthErrorReport};
-pub use faults::{FaultKind, FaultPlan, FaultPoint};
+pub use faults::{FaultKind, FaultPlan, FaultPoint, RecurringFault, Trigger};
 pub use pipeline::{run_pipeline, PipelineConfig, PipelineReport};
 pub use recovery::{
     resume_pipeline, resume_pipeline_with_faults, run_or_resume_pipeline, run_pipeline_recoverable,

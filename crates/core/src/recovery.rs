@@ -222,6 +222,33 @@ pub struct PipelineCheckpoint {
     pub events: Vec<RecoveryEvent>,
 }
 
+impl ull_nn::ValidatePayload for PipelineCheckpoint {
+    fn validate_payload(&self) -> Result<(), String> {
+        self.dnn
+            .validate_payload()
+            .map_err(|e| format!("dnn: {e}"))?;
+        if let Some(snn) = &self.snn {
+            snn.validate_payload().map_err(|e| format!("snn: {e}"))?;
+        }
+        if let Some(snn) = &self.best_snn {
+            snn.validate_payload()
+                .map_err(|e| format!("best_snn: {e}"))?;
+        }
+        for (name, v) in [
+            ("best_acc", self.best_acc),
+            ("dnn_accuracy", self.dnn_accuracy),
+            ("converted_accuracy", self.converted_accuracy),
+            ("lr_backoff", self.lr_backoff),
+            ("last_loss", self.last_loss),
+        ] {
+            if !v.is_finite() {
+                return Err(format!("{name} is non-finite ({v})"));
+            }
+        }
+        Ok(())
+    }
+}
+
 /// In-memory run cursor: the checkpoint payload plus the phase/epoch
 /// cursor that lives in the envelope metadata.
 struct RunState {

@@ -7,13 +7,14 @@ use std::path::PathBuf;
 
 use ull_core::{
     resume_pipeline, run_or_resume_pipeline, run_pipeline, run_pipeline_recoverable,
-    run_pipeline_recoverable_with_faults, FaultKind, FaultPlan, PipelineConfig, PipelineError,
-    PipelinePhase, RecoveryConfig,
+    run_pipeline_recoverable_with_faults, FaultKind, FaultPlan, PipelineCheckpoint, PipelineConfig,
+    PipelineError, PipelinePhase, RecoveryConfig, Trigger,
 };
 use ull_data::{generate, Dataset, SynthCifarConfig};
-use ull_nn::{models, Network, TrainError};
+use ull_nn::{models, CheckpointError, CheckpointMeta, Network, TrainError};
 use ull_snn::SnnNetwork;
 use ull_tensor::init::seeded_rng;
+use ull_tensor::parallel;
 
 fn test_dir(name: &str) -> PathBuf {
     let dir = std::env::temp_dir()
@@ -245,6 +246,176 @@ fn retry_budget_exhaustion_surfaces_diverged() {
         }
         other => panic!("expected Diverged, got {other}"),
     }
+}
+
+fn checkpoint_files(dir: &std::path::Path) -> Vec<PathBuf> {
+    let mut v: Vec<PathBuf> = fs::read_dir(dir)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.extension().map(|x| x == "json").unwrap_or(false))
+        .collect();
+    v.sort();
+    v
+}
+
+#[test]
+fn keep_last_prunes_checkpoint_directory() {
+    let (train, test, dnn0, mut pcfg) = fixture();
+    pcfg.dnn_epochs = 3;
+    pcfg.snn_epochs = 2;
+
+    // keep_last = 2: only the two newest checkpoints survive a full run.
+    let dir = test_dir("keep_last_2");
+    let mut rcfg = RecoveryConfig::new(&dir);
+    rcfg.keep_last = 2;
+    let mut dnn = dnn0.clone();
+    let mut rng = seeded_rng(12);
+    run_pipeline_recoverable(&mut dnn, &train, &test, &pcfg, &rcfg, &mut rng).unwrap();
+    let files = checkpoint_files(&dir);
+    assert_eq!(files.len(), 2, "{files:?}");
+    // The newest survivor must still load as a valid pipeline checkpoint.
+    let (_, meta, path) = ull_nn::load_latest::<PipelineCheckpoint>(&dir).unwrap();
+    assert_eq!(Some(path.as_path()), files.last().map(|p| p.as_path()));
+    assert_eq!(meta.phase, "sgl", "newest checkpoint is from the SGL phase");
+
+    // keep_last = 0 is clamped: at least one checkpoint is always kept,
+    // otherwise a crash right after pruning would lose the whole run.
+    let dir0 = test_dir("keep_last_0");
+    let mut rcfg0 = RecoveryConfig::new(&dir0);
+    rcfg0.keep_last = 0;
+    let mut dnn = dnn0.clone();
+    let mut rng = seeded_rng(12);
+    run_pipeline_recoverable(&mut dnn, &train, &test, &pcfg, &rcfg0, &mut rng).unwrap();
+    assert_eq!(checkpoint_files(&dir0).len(), 1);
+}
+
+#[test]
+fn faulted_recovery_is_thread_invariant() {
+    // The same fault plan must produce bit-identical recovery (same events,
+    // same final weights) regardless of the worker pool size.
+    let (train, test, dnn0, pcfg) = fixture();
+    let _guard = parallel::override_lock();
+    let run = |threads: usize, name: &str| {
+        parallel::set_threads(threads);
+        let rcfg = RecoveryConfig::new(test_dir(name));
+        let mut dnn = dnn0.clone();
+        let mut rng = seeded_rng(12);
+        let mut plan = FaultPlan::none()
+            .with(
+                PipelinePhase::DnnTrain,
+                1,
+                FaultKind::NanGradient { batch: 0 },
+            )
+            .with(PipelinePhase::Sgl, 1, FaultKind::NanGradient { batch: 1 });
+        let (rep, snn) = run_pipeline_recoverable_with_faults(
+            &mut dnn, &train, &test, &pcfg, &rcfg, &mut rng, &mut plan,
+        )
+        .expect("pipeline must recover from injected NaNs");
+        assert_eq!(plan.pending(), 0, "both faults must have fired");
+        (rep, snn_bits(&snn))
+    };
+    let (rep1, snn1) = run(1, "faults_t1");
+    let (rep4, snn4) = run(4, "faults_t4");
+    parallel::set_threads(0);
+    assert_eq!(snn1, snn4, "faulted recovery differs across thread counts");
+    assert_eq!(rep1.snn_accuracy.to_bits(), rep4.snn_accuracy.to_bits());
+    // Events embed the (run-specific) checkpoint path; compare only the
+    // path-independent diagnosis part.
+    let diagnoses = |rep: &ull_core::PipelineReport| -> Vec<String> {
+        rep.recovery_events
+            .iter()
+            .map(|e| e.split("; restored").next().unwrap_or(e).to_string())
+            .collect()
+    };
+    assert_eq!(diagnoses(&rep1), diagnoses(&rep4));
+}
+
+#[test]
+fn recurring_fault_schedule_exhausts_retries_to_diverged() {
+    // A recurring NaN schedule re-fires on every rollback retry of the
+    // selected epoch, so the retry budget must drain to Diverged — the
+    // flaky-hardware scenario one-shot points cannot express.
+    let (train, test, dnn0, pcfg) = fixture();
+    let mut rcfg = RecoveryConfig::new(test_dir("recurring_diverged"));
+    rcfg.max_retries = 1;
+    let mut dnn = dnn0.clone();
+    let mut rng = seeded_rng(12);
+    let mut plan = FaultPlan::none().with_recurring(
+        PipelinePhase::DnnTrain,
+        Trigger::Every {
+            period: 1,
+            offset: 2,
+        },
+        FaultKind::NanGradient { batch: 0 },
+    );
+    let err = run_pipeline_recoverable_with_faults(
+        &mut dnn, &train, &test, &pcfg, &rcfg, &mut rng, &mut plan,
+    )
+    .unwrap_err();
+    match err {
+        PipelineError::Train(TrainError::Diverged {
+            phase,
+            epoch,
+            retries,
+        }) => {
+            assert_eq!(phase, "dnn-train");
+            assert_eq!(epoch, 2);
+            assert_eq!(retries, 1);
+        }
+        other => panic!("expected Diverged, got {other}"),
+    }
+    assert_eq!(plan.recurring_count(), 1, "schedules are never consumed");
+}
+
+#[test]
+fn resume_rejects_nan_poisoned_checkpoint() {
+    // Regression: a checkpoint holding non-finite weights must not resume.
+    // The NaN survives the checksum (it was faithfully written), so only
+    // payload validation stands between it and the training loop.
+    let (train, test, dnn0, pcfg) = fixture();
+    let dir = test_dir("poisoned_resume");
+    let mut bad = dnn0.clone();
+    bad.visit_params_mut(|p| p.value.data_mut()[0] = f32::NAN);
+    let ckpt = PipelineCheckpoint {
+        dnn: bad,
+        snn: None,
+        best_snn: None,
+        best_acc: 0.0,
+        dnn_accuracy: 0.0,
+        converted_accuracy: 0.0,
+        scalings: Vec::new(),
+        lr_backoff: 1.0,
+        retries_used: 0,
+        last_loss: -1.0,
+        dnn_seconds: 0.0,
+        snn_seconds: 0.0,
+        events: Vec::new(),
+    };
+    let meta = CheckpointMeta {
+        phase: "dnn-train".to_string(),
+        epoch: 1,
+        rng_state: [1, 2, 3, 4],
+    };
+    ull_nn::save_with_meta(&ckpt, &meta, dir.join("ckpt-0-00001.json")).unwrap();
+    let mut dnn = dnn0.clone();
+    let mut rng = seeded_rng(5);
+    let err = resume_pipeline(
+        &mut dnn,
+        &train,
+        &test,
+        &pcfg,
+        &RecoveryConfig::new(&dir),
+        &mut rng,
+    )
+    .unwrap_err();
+    assert!(
+        matches!(
+            err,
+            PipelineError::Checkpoint(CheckpointError::NoValidCheckpoint { rejected: 1, .. })
+        ),
+        "{err:?}"
+    );
 }
 
 #[test]

@@ -153,6 +153,47 @@ impl From<io::Error> for CheckpointError {
     }
 }
 
+/// Semantic validation applied to a checkpoint payload *after* it
+/// deserializes — the final gate before a loaded model is trusted.
+///
+/// The checksum catches bytes corrupted on disk, but not bad values that
+/// were *faithfully written*: a NaN weight serializes to JSON `null` (and
+/// fails element deserialization with an opaque message), while a finite
+/// f64 like `1e39` parses fine and silently overflows to `+inf` when cast
+/// to `f32` — a model that loads "successfully" and then wrecks every
+/// forward pass. Implementations reject such payloads with a diagnostic,
+/// surfaced as [`CheckpointError::BadPayload`].
+pub trait ValidatePayload {
+    /// Checks the deserialized payload, returning a description of the
+    /// first problem found (e.g. which tensor is non-finite).
+    ///
+    /// # Errors
+    ///
+    /// Returns the diagnostic string on the first failed check.
+    fn validate_payload(&self) -> Result<(), String>;
+}
+
+impl ValidatePayload for crate::Network {
+    fn validate_payload(&self) -> Result<(), String> {
+        let mut bad = None;
+        let mut idx = 0usize;
+        self.visit_params(|p| {
+            if bad.is_none() {
+                if !p.value.all_finite() {
+                    bad = Some(format!("parameter {idx}: value has non-finite entries"));
+                } else if !p.momentum.all_finite() {
+                    bad = Some(format!("parameter {idx}: momentum has non-finite entries"));
+                }
+            }
+            idx += 1;
+        });
+        match bad {
+            Some(reason) => Err(reason),
+            None => Ok(()),
+        }
+    }
+}
+
 /// 64-bit FNV-1a over `bytes` — tiny, dependency-free and plenty for
 /// catching torn writes and bit flips (this is integrity, not security).
 pub fn fnv1a(bytes: &[u8]) -> u64 {
@@ -241,8 +282,10 @@ fn tmp_path(path: &Path) -> PathBuf {
 ///   the envelope fields are missing/mistyped.
 /// * [`CheckpointError::WrongVersion`] — written by an incompatible format.
 /// * [`CheckpointError::ChecksumMismatch`] — content corrupted on disk.
-/// * [`CheckpointError::BadPayload`] — intact envelope, wrong model type.
-pub fn load_with_meta<T: DeserializeOwned>(
+/// * [`CheckpointError::BadPayload`] — intact envelope but the payload is
+///   the wrong model type or fails [`ValidatePayload`] (e.g. non-finite
+///   weights written by a run that diverged before saving).
+pub fn load_with_meta<T: DeserializeOwned + ValidatePayload>(
     path: impl AsRef<Path>,
 ) -> Result<(T, CheckpointMeta), CheckpointError> {
     let json = fs::read_to_string(path.as_ref())?;
@@ -293,9 +336,12 @@ pub fn load_with_meta<T: DeserializeOwned>(
     if stored != actual {
         return Err(CheckpointError::ChecksumMismatch { stored, actual });
     }
-    let model = serde_json::from_value(payload).map_err(|e| CheckpointError::BadPayload {
+    let model: T = serde_json::from_value(payload).map_err(|e| CheckpointError::BadPayload {
         reason: e.to_string(),
     })?;
+    model
+        .validate_payload()
+        .map_err(|reason| CheckpointError::BadPayload { reason })?;
     Ok((model, meta))
 }
 
@@ -315,7 +361,9 @@ pub fn save<T: Serialize>(model: &T, path: impl AsRef<Path>) -> Result<(), Check
 /// # Errors
 ///
 /// Same as [`load_with_meta`].
-pub fn load<T: DeserializeOwned>(path: impl AsRef<Path>) -> Result<T, CheckpointError> {
+pub fn load<T: DeserializeOwned + ValidatePayload>(
+    path: impl AsRef<Path>,
+) -> Result<T, CheckpointError> {
     load_with_meta(path).map(|(model, _)| model)
 }
 
@@ -332,7 +380,7 @@ pub fn load<T: DeserializeOwned>(path: impl AsRef<Path>) -> Result<T, Checkpoint
 ///
 /// * [`CheckpointError::Io`] — `dir` cannot be read.
 /// * [`CheckpointError::NoValidCheckpoint`] — no file in `dir` validates.
-pub fn load_latest<T: DeserializeOwned>(
+pub fn load_latest<T: DeserializeOwned + ValidatePayload>(
     dir: impl AsRef<Path>,
 ) -> Result<(T, CheckpointMeta, PathBuf), CheckpointError> {
     let dir = dir.as_ref();
@@ -570,6 +618,98 @@ mod tests {
         let dir = test_dir("empty");
         let r: Result<(Network, _, _), _> = load_latest(&dir);
         assert!(matches!(r, Err(CheckpointError::NoValidCheckpoint { .. })));
+        let _ = fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn nan_poisoned_checkpoint_is_rejected_typed() {
+        // Regression: a model whose weights went NaN before saving must not
+        // load back. The NaN serializes to JSON `null` with a *consistent*
+        // checksum, so only payload validation can catch it.
+        let mut net = tiny();
+        net.visit_params_mut(|p| p.value.data_mut()[0] = f32::NAN);
+        let dir = test_dir("nan_payload");
+        let path = dir.join("net.json");
+        save(&net, &path).unwrap();
+        let r: Result<Network, _> = load(&path);
+        assert!(
+            matches!(r, Err(CheckpointError::BadPayload { .. })),
+            "{r:?}"
+        );
+        let _ = fs::remove_dir_all(dir);
+    }
+
+    /// Replaces the first float scalar found in a payload `Value` tree.
+    fn poison_first_float(v: &mut Value, poison: f64) -> bool {
+        match v {
+            Value::F64(x) => {
+                *x = poison;
+                true
+            }
+            Value::Seq(items) => items.iter_mut().any(|i| poison_first_float(i, poison)),
+            Value::Map(entries) => entries
+                .iter_mut()
+                .any(|(_, i)| poison_first_float(i, poison)),
+            _ => false,
+        }
+    }
+
+    #[test]
+    fn overflowing_weight_checkpoint_is_rejected_typed() {
+        // Regression: `1e39` is a perfectly finite f64 that the JSON layer
+        // accepts and checksums happily — but it overflows to `+inf` when
+        // cast to f32 at deserialization. Before payload validation this
+        // loaded "successfully" and produced a model whose forward pass is
+        // all infinities.
+        let net = tiny();
+        let mut payload = net.to_value();
+        assert!(
+            poison_first_float(&mut payload, 1e39),
+            "payload should contain at least one float"
+        );
+        let meta = CheckpointMeta::standalone();
+        let checksum = fnv1a(checksum_input(FORMAT_VERSION as u64, &meta, &payload).as_bytes());
+        let envelope = Value::Map(vec![
+            (
+                "format_version".to_string(),
+                Value::U64(FORMAT_VERSION as u64),
+            ),
+            ("phase".to_string(), Value::Str(meta.phase.clone())),
+            ("epoch".to_string(), Value::U64(meta.epoch as u64)),
+            ("rng_state".to_string(), meta.rng_state.to_value()),
+            ("payload".to_string(), payload),
+            ("checksum".to_string(), Value::U64(checksum)),
+        ]);
+        let dir = test_dir("overflow_payload");
+        let path = dir.join("net.json");
+        fs::write(&path, serde_json::to_string_pretty(&envelope).unwrap()).unwrap();
+        let r: Result<Network, _> = load(&path);
+        match r {
+            Err(CheckpointError::BadPayload { reason }) => {
+                assert!(reason.contains("non-finite"), "reason: {reason}");
+            }
+            other => panic!("expected BadPayload, got {other:?}"),
+        }
+        let _ = fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn load_latest_skips_nan_poisoned_checkpoint() {
+        // A poisoned newest checkpoint must not shadow an older clean one.
+        let dir = test_dir("latest_nan");
+        let meta = |epoch| CheckpointMeta {
+            phase: "dnn-train".to_string(),
+            epoch,
+            rng_state: [1, 1, 1, 1],
+        };
+        let clean = tiny();
+        save_with_meta(&clean, &meta(1), dir.join("ckpt-0-00001.json")).unwrap();
+        let mut poisoned = tiny();
+        poisoned.visit_params_mut(|p| p.value.data_mut()[0] = f32::NAN);
+        save_with_meta(&poisoned, &meta(2), dir.join("ckpt-0-00002.json")).unwrap();
+        let (_, m, path): (Network, _, _) = load_latest(&dir).unwrap();
+        assert_eq!(m.epoch, 1, "must fall back past the poisoned epoch-2");
+        assert!(path.ends_with("ckpt-0-00001.json"));
         let _ = fs::remove_dir_all(dir);
     }
 }

@@ -46,7 +46,7 @@ pub mod models;
 pub use adam::{Adam, AdamConfig};
 pub use checkpoint::{
     fnv1a, load, load_latest, load_with_meta, save, save_with_meta, CheckpointError,
-    CheckpointMeta, CHECKPOINT_EXT, FORMAT_VERSION,
+    CheckpointMeta, ValidatePayload, CHECKPOINT_EXT, FORMAT_VERSION,
 };
 pub use loss::{cross_entropy_grad, cross_entropy_loss};
 pub use metrics::{top_k_accuracy, ConfusionMatrix};

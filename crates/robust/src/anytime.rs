@@ -1,0 +1,315 @@
+//! Deadline-aware anytime inference.
+//!
+//! A T-step SNN normally commits to its prediction only after all T steps.
+//! Under a latency deadline that is wasteful: for most inputs the
+//! running-mean logits already separate after one or two steps, and extra
+//! steps only confirm the decision. [`anytime_forward`] emits each
+//! sample's prediction at the first step `t ≤ T` where the logit margin
+//! (top-1 minus top-2 of the running mean) clears a gate, falling back to
+//! the full-T prediction for samples that never clear it — graceful
+//! degradation instead of a missed deadline.
+//!
+//! The gate is data-calibrated: [`calibrate_margin`] picks the smallest
+//! margin whose early decisions agree with the full-T argmax on at least a
+//! target fraction of calibration samples, so the accuracy cost of early
+//! exit is bounded by construction.
+
+use serde::{Deserialize, Serialize};
+use ull_data::Dataset;
+use ull_snn::SnnNetwork;
+use ull_tensor::Tensor;
+
+/// Configuration for deadline-aware inference.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AnytimeConfig {
+    /// Deadline: maximum time steps to simulate.
+    pub t_max: usize,
+    /// Logit-margin gate: a sample commits once `top1 − top2` of its
+    /// running-mean logits reaches this value. Calibrate with
+    /// [`calibrate_margin`].
+    pub margin: f32,
+    /// Minimum steps before any sample may commit (≥ 1).
+    pub min_steps: usize,
+}
+
+impl AnytimeConfig {
+    /// A gate at `margin` with deadline `t_max` and no minimum beyond the
+    /// first step.
+    pub fn new(t_max: usize, margin: f32) -> Self {
+        AnytimeConfig {
+            t_max,
+            margin,
+            min_steps: 1,
+        }
+    }
+}
+
+/// Result of a deadline-aware run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AnytimeOutput {
+    /// Per-sample predicted class, frozen at its decision step.
+    pub predictions: Vec<usize>,
+    /// Per-sample step at which the prediction was frozen (1-based;
+    /// `t_max` for samples that never cleared the gate).
+    pub steps_used: Vec<usize>,
+    /// Steps actually simulated (the last step at which some sample was
+    /// still undecided; the network can stop here).
+    pub steps_simulated: usize,
+}
+
+impl AnytimeOutput {
+    /// Mean steps-to-decision across the batch.
+    pub fn mean_steps(&self) -> f64 {
+        if self.steps_used.is_empty() {
+            return 0.0;
+        }
+        self.steps_used.iter().sum::<usize>() as f64 / self.steps_used.len() as f64
+    }
+}
+
+/// Per-row top-1/top-2 margin and argmax of a `[N, classes]` tensor.
+fn row_margins(logits: &Tensor) -> Vec<(usize, f32)> {
+    let rows = logits.shape()[0];
+    let classes = logits.len() / rows.max(1);
+    let data = logits.data();
+    (0..rows)
+        .map(|r| {
+            let row = &data[r * classes..(r + 1) * classes];
+            let mut best = 0usize;
+            let mut top1 = f32::NEG_INFINITY;
+            let mut top2 = f32::NEG_INFINITY;
+            // `>=` so ties resolve to the last index, matching
+            // `Tensor::argmax_rows`.
+            for (c, &v) in row.iter().enumerate() {
+                if v >= top1 {
+                    top2 = top1;
+                    top1 = v;
+                    best = c;
+                } else if v > top2 {
+                    top2 = v;
+                }
+            }
+            (best, top1 - top2)
+        })
+        .collect()
+}
+
+/// Runs deadline-aware inference on one batch.
+///
+/// Simulation stops as soon as every sample has committed, so a batch
+/// whose samples all clear the gate early also *costs* fewer steps.
+/// Decisions freeze: a sample's prediction is whatever the running mean
+/// said at its decision step, even if later steps (simulated for the
+/// benefit of still-undecided samples) would have changed it.
+///
+/// # Panics
+///
+/// Panics if `cfg.t_max == 0`.
+pub fn anytime_forward(snn: &SnnNetwork, x: &Tensor, cfg: &AnytimeConfig) -> AnytimeOutput {
+    let _span = ull_obs::span("robust.anytime.forward");
+    let batch = x.shape()[0];
+    let mut predictions = vec![0usize; batch];
+    let mut steps_used = vec![cfg.t_max; batch];
+    let mut decided = vec![false; batch];
+    let min_steps = cfg.min_steps.max(1);
+    let (_, steps_simulated) = snn.forward_until(x, cfg.t_max, |t, mean| {
+        let mut undecided = 0;
+        for (r, (argmax, margin)) in row_margins(mean).into_iter().enumerate() {
+            if decided[r] {
+                continue;
+            }
+            // Track the running prediction so a sample that never clears
+            // the gate ends with the full-deadline answer.
+            predictions[r] = argmax;
+            if t >= min_steps && margin >= cfg.margin {
+                decided[r] = true;
+                steps_used[r] = t;
+            } else {
+                undecided += 1;
+            }
+        }
+        undecided > 0 && t < cfg.t_max
+    });
+    ull_obs::counter_add("robust.anytime.samples", batch as u64);
+    ull_obs::counter_add(
+        "robust.anytime.steps_saved",
+        steps_used.iter().map(|&s| (cfg.t_max - s) as u64).sum(),
+    );
+    AnytimeOutput {
+        predictions,
+        steps_used,
+        steps_simulated,
+    }
+}
+
+/// Calibrates the margin gate on clean data.
+///
+/// For every calibration sample the per-step running-mean margins and
+/// argmaxes are recorded along with the full-`t_max` argmax. The returned
+/// margin is the smallest observed value such that gating on it keeps
+/// early decisions in agreement with the full-deadline prediction on at
+/// least `target_agreement` of the samples. If no margin meets the target
+/// the maximum observed margin is returned (the gate then effectively
+/// disables early exit — the conservative fallback).
+///
+/// # Panics
+///
+/// Panics if `t_max == 0` or `data` has no evaluation batches.
+pub fn calibrate_margin(
+    snn: &SnnNetwork,
+    data: &Dataset,
+    t_max: usize,
+    batch_size: usize,
+    target_agreement: f64,
+) -> f32 {
+    let _span = ull_obs::span("robust.anytime.calibrate");
+    assert!(t_max > 0, "need at least one time step");
+    // Per sample: (per-step (argmax, margin) for t = 1..=t_max, final argmax).
+    let mut traces: Vec<(Vec<(usize, f32)>, usize)> = Vec::new();
+    for batch in data.eval_batches(batch_size) {
+        let rows = batch.images.shape()[0];
+        let mut per_step: Vec<Vec<(usize, f32)>> = vec![Vec::with_capacity(t_max); rows];
+        let (out, _) = snn.forward_until(&batch.images, t_max, |_, mean| {
+            for (r, am) in row_margins(mean).into_iter().enumerate() {
+                per_step[r].push(am);
+            }
+            true
+        });
+        for (r, &final_pred) in out.logits.argmax_rows().iter().enumerate() {
+            traces.push((std::mem::take(&mut per_step[r]), final_pred));
+        }
+    }
+    assert!(!traces.is_empty(), "dataset has no evaluation batches");
+
+    // Candidate gates: every margin observed at a step before the last —
+    // gating exactly at an observed value makes that sample (and any with
+    // a larger margin) exit there.
+    let mut candidates: Vec<f32> = traces
+        .iter()
+        .flat_map(|(steps, _)| steps[..steps.len() - 1].iter().map(|&(_, m)| m))
+        .filter(|m| m.is_finite())
+        .collect();
+    candidates.sort_by(f32::total_cmp);
+    candidates.dedup();
+
+    let agreement = |gate: f32| -> f64 {
+        let agree = traces
+            .iter()
+            .filter(|(steps, final_pred)| {
+                let decided = steps
+                    .iter()
+                    .find(|(_, m)| *m >= gate)
+                    .map(|(p, _)| *p)
+                    .unwrap_or(*final_pred);
+                decided == *final_pred
+            })
+            .count();
+        agree as f64 / traces.len() as f64
+    };
+
+    for &gate in &candidates {
+        if agreement(gate) >= target_agreement {
+            return gate;
+        }
+    }
+    // Nothing met the target: disable early exit.
+    candidates.last().map(|&m| m + 1.0).unwrap_or(f32::INFINITY)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ull_data::{generate, SynthCifarConfig};
+    use ull_nn::models;
+    use ull_snn::{evaluate_snn, SpikeSpec};
+
+    fn setup() -> (SnnNetwork, Dataset) {
+        let cfg = SynthCifarConfig::tiny(3);
+        let (_, test) = generate(&cfg);
+        let dnn = models::vgg_micro(3, cfg.image_size, 0.25, 23);
+        let specs = vec![SpikeSpec::identity(0.5); dnn.threshold_nodes().len()];
+        (SnnNetwork::from_network(&dnn, &specs).unwrap(), test)
+    }
+
+    #[test]
+    fn infinite_margin_reproduces_full_deadline_predictions() {
+        let (snn, data) = setup();
+        let batch = data.eval_batches(16).next().unwrap();
+        let cfg = AnytimeConfig::new(4, f32::INFINITY);
+        let out = anytime_forward(&snn, &batch.images, &cfg);
+        let full = snn.forward(&batch.images, 4);
+        assert_eq!(out.predictions, full.logits.argmax_rows());
+        assert!(out.steps_used.iter().all(|&s| s == 4));
+        assert_eq!(out.steps_simulated, 4);
+    }
+
+    #[test]
+    fn zero_margin_decides_every_sample_at_the_first_step() {
+        let (snn, data) = setup();
+        let batch = data.eval_batches(16).next().unwrap();
+        let cfg = AnytimeConfig::new(4, 0.0);
+        let out = anytime_forward(&snn, &batch.images, &cfg);
+        assert!(out.steps_used.iter().all(|&s| s == 1));
+        assert_eq!(out.steps_simulated, 1, "all decided — simulation must stop");
+        let one_step = snn.forward(&batch.images, 1);
+        assert_eq!(out.predictions, one_step.logits.argmax_rows());
+    }
+
+    #[test]
+    fn min_steps_defers_decisions() {
+        let (snn, data) = setup();
+        let batch = data.eval_batches(8).next().unwrap();
+        let cfg = AnytimeConfig {
+            t_max: 4,
+            margin: 0.0,
+            min_steps: 3,
+        };
+        let out = anytime_forward(&snn, &batch.images, &cfg);
+        assert!(out.steps_used.iter().all(|&s| s == 3));
+    }
+
+    #[test]
+    fn calibrated_gate_meets_agreement_and_beats_the_deadline() {
+        let (snn, data) = setup();
+        let t_max = 5;
+        let target = 0.98;
+        let margin = calibrate_margin(&snn, &data, t_max, 16, target);
+        assert!(margin.is_finite());
+        let cfg = AnytimeConfig::new(t_max, margin);
+
+        let (full_acc, _) = evaluate_snn(&snn, &data, t_max, 16);
+        let mut correct = 0usize;
+        let mut seen = 0usize;
+        let mut total_steps = 0usize;
+        for batch in data.eval_batches(16) {
+            let out = anytime_forward(&snn, &batch.images, &cfg);
+            for (pred, &label) in out.predictions.iter().zip(&batch.labels) {
+                if *pred == label {
+                    correct += 1;
+                }
+            }
+            total_steps += out.steps_used.iter().sum::<usize>();
+            seen += batch.labels.len();
+        }
+        let anytime_acc = correct as f32 / seen as f32;
+        let mean_steps = total_steps as f64 / seen as f64;
+        assert!(
+            mean_steps < t_max as f64,
+            "anytime inference saved no steps (mean {mean_steps:.2} of {t_max})"
+        );
+        assert!(
+            (full_acc - anytime_acc).abs() <= 0.01 + f32::EPSILON,
+            "anytime accuracy {anytime_acc:.4} drifted more than 1 pt from full-T {full_acc:.4}"
+        );
+    }
+
+    #[test]
+    fn anytime_is_deterministic() {
+        let (snn, data) = setup();
+        let batch = data.eval_batches(8).next().unwrap();
+        let cfg = AnytimeConfig::new(3, 0.05);
+        let a = anytime_forward(&snn, &batch.images, &cfg);
+        let b = anytime_forward(&snn, &batch.images, &cfg);
+        assert_eq!(a, b);
+    }
+}

@@ -48,7 +48,8 @@ mod train;
 
 pub use encoding::InputEncoding;
 pub use network::{
-    SnnError, SnnNetwork, SnnNode, SnnOp, SnnOutput, SnnTape, SpikeLayer, SpikeSpec,
+    SnnError, SnnNetwork, SnnNode, SnnOp, SnnOutput, SnnTape, SpikeLayer, SpikeSpec, StepTamper,
+    MAX_V_TH, MEMBRANE_CLAMP,
 };
 pub use profile::{memory_profile, MemoryProfile};
 pub use stats::{ActivityReport, SpikeStats};

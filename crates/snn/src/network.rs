@@ -40,6 +40,14 @@ pub enum SnnError {
         /// Why folding is impossible there.
         reason: &'static str,
     },
+    /// A parameter failed the finite/range checks of
+    /// [`SnnNetwork::validate`] (non-finite weight, absurd threshold, …).
+    InvalidParam {
+        /// Node id holding the bad parameter.
+        node: NodeId,
+        /// Which check failed and the offending value.
+        reason: String,
+    },
 }
 
 impl fmt::Display for SnnError {
@@ -54,6 +62,9 @@ impl fmt::Display for SnnError {
             ),
             SnnError::FoldUnsupported { node, reason } => {
                 write!(f, "cannot fold amplitude at node {node}: {reason}")
+            }
+            SnnError::InvalidParam { node, reason } => {
+                write!(f, "node {node}: invalid parameter: {reason}")
             }
         }
     }
@@ -191,6 +202,43 @@ pub struct SnnNode {
     pub op: SnnOp,
     /// Input node ids.
     pub inputs: Vec<NodeId>,
+}
+
+/// Largest firing threshold accepted by [`SnnNetwork::validate`]. The
+/// paper's calibrated thresholds are `α·μ` with α ≤ 1 and μ a percentile of
+/// real pre-activations — orders of magnitude below this bound, so anything
+/// beyond it is corruption, not calibration.
+pub const MAX_V_TH: f32 = 1e4;
+
+/// Membrane potentials beyond this magnitude are treated as corrupted and
+/// clamped during simulation (NaN resets to 0). Clean networks never get
+/// close: with validated weights and thresholds, membranes stay within a
+/// few multiples of `V^th`.
+pub const MEMBRANE_CLAMP: f32 = 1e6;
+
+/// Hook for per-timestep spike-train tampering — the inference
+/// fault-injection seam used by `ull-robust` (spike deletion/insertion,
+/// stuck-at neurons).
+///
+/// Implementations may delete, insert or corrupt individual spikes in a
+/// spike layer's output. Decisions must depend only on *coordinates*
+/// (step, node, global sample index, neuron) — never on call order — so a
+/// tampered run is bit-identical for any `ULL_THREADS` batch chunking (use
+/// [`ull_tensor::init::mix64`] for this).
+pub trait StepTamper: Sync {
+    /// Tamper with `out`, the `[chunk, ...]` spike output of `node` at
+    /// time step `step` (0-based). `batch_offset` maps local row `r` to
+    /// the global sample index `batch_offset + r`; `amp` is the layer's
+    /// per-spike output magnitude (the value an inserted spike should
+    /// carry).
+    fn tamper_spikes(
+        &self,
+        step: usize,
+        node: NodeId,
+        batch_offset: usize,
+        amp: f32,
+        out: &mut Tensor,
+    );
 }
 
 /// Output of an inference run: accumulated logits plus spiking statistics.
@@ -401,6 +449,60 @@ impl SnnNetwork {
         self.visit_params_mut(|p| p.zero_grad());
     }
 
+    /// Validates every parameter for finiteness and sane ranges — the
+    /// model-load hardening gate. A NaN weight or an absurd `V^th` loaded
+    /// from a corrupted checkpoint silently wrecks accuracy (the membrane
+    /// either never crosses threshold or saturates every step); this
+    /// rejects such models up front with a typed error.
+    ///
+    /// Accepted ranges: weights/biases all-finite; `V^th` in
+    /// `(0, `[`MAX_V_TH`]`]`; leak λ finite in `[0, 2]`; `amp` finite with
+    /// `|amp| ≤ `[`MEMBRANE_CLAMP`]; `|u_init| ≤ `[`MAX_V_TH`]; dropout
+    /// `p` in `[0, 1)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnnError::InvalidParam`] naming the first offending node
+    /// and check.
+    pub fn validate(&self) -> Result<(), SnnError> {
+        let bad = |node: NodeId, reason: String| Err(SnnError::InvalidParam { node, reason });
+        for (id, node) in self.nodes.iter().enumerate() {
+            match &node.op {
+                SnnOp::Conv2d { weight, bias, .. } | SnnOp::Linear { weight, bias } => {
+                    if !weight.value.all_finite() {
+                        return bad(id, "weight contains non-finite values".into());
+                    }
+                    if let Some(b) = bias {
+                        if !b.value.all_finite() {
+                            return bad(id, "bias contains non-finite values".into());
+                        }
+                    }
+                }
+                SnnOp::Spike(s) => {
+                    let v_th = s.v_th.scalar_value();
+                    if !v_th.is_finite() || v_th <= 0.0 || v_th > MAX_V_TH {
+                        return bad(id, format!("v_th {v_th} outside (0, {MAX_V_TH}]"));
+                    }
+                    let leak = s.leak.scalar_value();
+                    if !leak.is_finite() || !(0.0..=2.0).contains(&leak) {
+                        return bad(id, format!("leak {leak} outside [0, 2]"));
+                    }
+                    if !s.amp.is_finite() || s.amp.abs() > MEMBRANE_CLAMP {
+                        return bad(id, format!("amp {} outside ±{MEMBRANE_CLAMP}", s.amp));
+                    }
+                    if !s.u_init.is_finite() || s.u_init.abs() > MAX_V_TH {
+                        return bad(id, format!("u_init {} outside ±{MAX_V_TH}", s.u_init));
+                    }
+                }
+                SnnOp::Dropout { p } if !(0.0..1.0).contains(p) => {
+                    return bad(id, format!("dropout p {p} outside [0, 1)"));
+                }
+                _ => {}
+            }
+        }
+        Ok(())
+    }
+
     /// Inference over `t_steps` time steps with direct input encoding.
     ///
     /// The output node's activation is averaged over steps to form logits,
@@ -418,17 +520,52 @@ impl SnnNetwork {
     pub fn forward(&self, x: &Tensor, t_steps: usize) -> SnnOutput {
         assert!(t_steps > 0, "need at least one time step");
         let _span = ull_obs::span("snn.forward");
+        let out = self.forward_dispatch(x, t_steps, None);
+        ull_obs::counter_add("snn.forward.images", x.shape()[0] as u64);
+        out.stats.publish_to_obs();
+        out
+    }
+
+    /// Like [`SnnNetwork::forward`] but routes every spike layer's output
+    /// through `tamper` — the inference fault-injection entry point used by
+    /// `ull-robust`. The clean [`SnnNetwork::forward`] path never invokes
+    /// the hook, so disabled fault injection stays byte-identical to the
+    /// plain forward pass; `SpikeStats` counts the spikes *after*
+    /// tampering, which is what lets a spike-rate watchdog observe the
+    /// fault.
+    pub fn forward_tampered(
+        &self,
+        x: &Tensor,
+        t_steps: usize,
+        tamper: &dyn StepTamper,
+    ) -> SnnOutput {
+        assert!(t_steps > 0, "need at least one time step");
+        let _span = ull_obs::span("snn.forward_tampered");
+        let out = self.forward_dispatch(x, t_steps, Some(tamper));
+        ull_obs::counter_add("snn.forward.images", x.shape()[0] as u64);
+        out.stats.publish_to_obs();
+        out
+    }
+
+    /// Shared chunked-parallel body of [`SnnNetwork::forward`] and
+    /// [`SnnNetwork::forward_tampered`].
+    fn forward_dispatch(
+        &self,
+        x: &Tensor,
+        t_steps: usize,
+        tamper: Option<&dyn StepTamper>,
+    ) -> SnnOutput {
         let batch = x.shape()[0];
         let threads = parallel::num_threads();
-        let out = if threads <= 1 || batch < 2 {
-            self.forward_chunk(x, t_steps)
+        if threads <= 1 || batch < 2 {
+            self.forward_chunk(x, t_steps, tamper.map(|t| (t, 0)))
         } else {
             let chunk = batch.div_ceil(threads);
             let n_chunks = batch.div_ceil(chunk);
             let parts = parallel::par_map(n_chunks, |ci| {
                 let lo = ci * chunk;
                 let hi = ((ci + 1) * chunk).min(batch);
-                self.forward_chunk(&x.slice_batch(lo, hi), t_steps)
+                self.forward_chunk(&x.slice_batch(lo, hi), t_steps, tamper.map(|t| (t, lo)))
             });
             // Merge in chunk (= batch) order: logit rows concatenate back
             // into batch order and the integer spike counters sum exactly.
@@ -442,21 +579,31 @@ impl SnnNetwork {
                 logits: Tensor::concat_batch(&logit_parts),
                 stats,
             }
-        };
-        ull_obs::counter_add("snn.forward.images", batch as u64);
-        out.stats.publish_to_obs();
-        out
+        }
     }
 
     /// Serial simulation of one contiguous batch chunk — the single-thread
-    /// body [`SnnNetwork::forward`] distributes over the pool.
-    fn forward_chunk(&self, x: &Tensor, t_steps: usize) -> SnnOutput {
+    /// body [`SnnNetwork::forward`] distributes over the pool. `tamper`
+    /// carries the fault hook plus this chunk's global batch offset.
+    fn forward_chunk(
+        &self,
+        x: &Tensor,
+        t_steps: usize,
+        tamper: Option<(&dyn StepTamper, usize)>,
+    ) -> SnnOutput {
         let batch = x.shape()[0];
         let mut stats = SpikeStats::new(self.nodes.len(), batch, t_steps);
         let mut membranes: Vec<Option<Tensor>> = vec![None; self.nodes.len()];
         let mut logits: Option<Tensor> = None;
-        for _ in 0..t_steps {
-            let acts = self.step(x, &mut membranes, None, None, &mut stats);
+        for t in 0..t_steps {
+            let acts = self.step(
+                x,
+                &mut membranes,
+                None,
+                None,
+                &mut stats,
+                tamper.map(|(h, off)| (h, t, off)),
+            );
             match &mut logits {
                 Some(l) => l.add_assign(&acts[self.output]),
                 None => logits = Some(acts[self.output].clone()),
@@ -465,6 +612,52 @@ impl SnnNetwork {
         let mut logits = logits.expect("at least one step ran");
         logits.scale_in_place(1.0 / t_steps as f32);
         SnnOutput { logits, stats }
+    }
+
+    /// Deadline-aware anytime inference: simulates up to `t_max` steps,
+    /// invoking `keep_going(t, mean_logits)` after each completed step `t`
+    /// (1-based) with the running mean of the output activation.
+    /// Simulation stops as soon as the callback returns `false` — a
+    /// confident early decision or a deadline hit — and the logits averaged
+    /// over the steps actually run are returned together with that step
+    /// count.
+    ///
+    /// Serial by design: stopping is a whole-batch decision and the
+    /// callback observes logits in batch order. Per-sample early decisions
+    /// are layered on top by `ull-robust`, which freezes decided rows
+    /// inside its callback.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t_max == 0`.
+    pub fn forward_until(
+        &self,
+        x: &Tensor,
+        t_max: usize,
+        mut keep_going: impl FnMut(usize, &Tensor) -> bool,
+    ) -> (SnnOutput, usize) {
+        assert!(t_max > 0, "need at least one time step");
+        let batch = x.shape()[0];
+        let mut stats = SpikeStats::new(self.nodes.len(), batch, t_max);
+        let mut membranes: Vec<Option<Tensor>> = vec![None; self.nodes.len()];
+        let mut sum: Option<Tensor> = None;
+        let mut steps = 0;
+        for t in 1..=t_max {
+            let acts = self.step(x, &mut membranes, None, None, &mut stats, None);
+            match &mut sum {
+                Some(l) => l.add_assign(&acts[self.output]),
+                None => sum = Some(acts[self.output].clone()),
+            }
+            steps = t;
+            let mut mean = sum.as_ref().expect("just set").clone();
+            mean.scale_in_place(1.0 / t as f32);
+            if !keep_going(t, &mean) {
+                break;
+            }
+        }
+        let mut logits = sum.expect("at least one step ran");
+        logits.scale_in_place(1.0 / steps as f32);
+        (SnnOutput { logits, stats }, steps)
     }
 
     /// Like [`SnnNetwork::forward`] but also returns, for each spike node,
@@ -485,7 +678,7 @@ impl SnnNetwork {
         let mut current_sums: Vec<Option<Tensor>> = vec![None; self.nodes.len()];
         let mut output_sums: Vec<Option<Tensor>> = vec![None; self.nodes.len()];
         for _ in 0..t_steps {
-            let acts = self.step(x, &mut membranes, None, None, &mut stats);
+            let acts = self.step(x, &mut membranes, None, None, &mut stats, None);
             for &id in &spike_ids {
                 let input_act = &acts_input(self, &acts, id);
                 accumulate_opt(&mut current_sums[id], input_act);
@@ -521,7 +714,7 @@ impl SnnNetwork {
         // Pre-sample dropout masks (shapes discovered via a dry step).
         let mut stats = SpikeStats::new(self.nodes.len(), batch, t_steps);
         let mut membranes: Vec<Option<Tensor>> = vec![None; self.nodes.len()];
-        let probe = self.step(x, &mut membranes, None, None, &mut stats);
+        let probe = self.step(x, &mut membranes, None, None, &mut stats, None);
         let mut masks: Vec<Option<Tensor>> = vec![None; self.nodes.len()];
         for (i, node) in self.nodes.iter().enumerate() {
             if let SnnOp::Dropout { p } = node.op {
@@ -544,7 +737,14 @@ impl SnnNetwork {
         let mut logits: Option<Tensor> = None;
         for _ in 0..t_steps {
             let mut aux: Vec<StepAux> = Vec::with_capacity(self.nodes.len());
-            let acts = self.step(x, &mut membranes, Some(&masks), Some(&mut aux), &mut stats);
+            let acts = self.step(
+                x,
+                &mut membranes,
+                Some(&masks),
+                Some(&mut aux),
+                &mut stats,
+                None,
+            );
             match &mut logits {
                 Some(l) => l.add_assign(&acts[self.output]),
                 None => logits = Some(acts[self.output].clone()),
@@ -582,7 +782,7 @@ impl SnnNetwork {
         let mut trace = Vec::with_capacity(t_steps);
         let mut prev = vec![0u64; self.nodes.len()];
         for _ in 0..t_steps {
-            let _ = self.step(x, &mut membranes, None, None, &mut stats);
+            let _ = self.step(x, &mut membranes, None, None, &mut stats, None);
             let now = stats.spikes_per_node();
             trace.push(
                 now.iter()
@@ -603,11 +803,13 @@ impl SnnNetwork {
         membranes: &mut [Option<Tensor>],
         stats: &mut SpikeStats,
     ) -> Vec<Tensor> {
-        self.step(x, membranes, None, None, stats)
+        self.step(x, membranes, None, None, stats, None)
     }
 
     /// One simulated time step. `aux_out`, when provided, records the BPTT
-    /// auxiliaries; `masks` supplies shared dropout masks (None ⇒ eval).
+    /// auxiliaries; `masks` supplies shared dropout masks (None ⇒ eval);
+    /// `tamper` is the fault-injection hook plus the current step index and
+    /// the chunk's global batch offset (None ⇒ clean simulation).
     fn step(
         &self,
         x: &Tensor,
@@ -615,6 +817,7 @@ impl SnnNetwork {
         masks: Option<&[Option<Tensor>]>,
         mut aux_out: Option<&mut Vec<StepAux>>,
         stats: &mut SpikeStats,
+        tamper: Option<(&dyn StepTamper, usize, usize)>,
     ) -> Vec<Tensor> {
         let mut acts: Vec<Tensor> = Vec::with_capacity(self.nodes.len());
         for (i, node) in self.nodes.iter().enumerate() {
@@ -650,6 +853,11 @@ impl SnnNetwork {
                     // Eq. 2: U_temp = λ·U(t−1) + I(t)
                     let mut u_temp = u_prev.scale(leak);
                     u_temp.add_assign(input);
+                    // Hardening: corrupted weights can push membranes to
+                    // NaN/±∞, which would propagate silently. Only
+                    // non-finite or absurd values are rewritten, so clean
+                    // runs stay bit-identical.
+                    sanitize_membrane(&mut u_temp);
                     // Eq. 3/8: spike and scaled output.
                     let mut out = Tensor::zeros(input.shape());
                     let mut u_next = u_temp.clone();
@@ -664,6 +872,13 @@ impl SnnNetwork {
                                 spike_count += 1;
                             }
                         }
+                    }
+                    if let Some((hook, t, batch_offset)) = tamper {
+                        hook.tamper_spikes(t, i, batch_offset, amp, &mut out);
+                        // Recount so SpikeStats reflects the spikes that
+                        // were actually transmitted — this is how the
+                        // watchdog sees the fault.
+                        spike_count = out.data().iter().filter(|v| **v != 0.0).count() as u64;
                     }
                     stats.record(i, spike_count, input.len());
                     membranes[i] = Some(u_next);
@@ -782,6 +997,32 @@ impl SnnNetwork {
             }
         }
         Ok(())
+    }
+}
+
+impl ull_nn::ValidatePayload for SnnNetwork {
+    fn validate_payload(&self) -> Result<(), String> {
+        self.validate().map_err(|e| e.to_string())
+    }
+}
+
+/// Rewrites corrupted membrane values in place: NaN → 0, ±∞ and values
+/// beyond [`MEMBRANE_CLAMP`] → ±[`MEMBRANE_CLAMP`]. The all-finite fast
+/// path leaves clean membranes untouched, preserving bit-identical clean
+/// forward passes.
+fn sanitize_membrane(u: &mut Tensor) {
+    if u.data()
+        .iter()
+        .all(|v| v.is_finite() && v.abs() <= MEMBRANE_CLAMP)
+    {
+        return;
+    }
+    for v in u.data_mut() {
+        if v.is_nan() {
+            *v = 0.0;
+        } else if !v.is_finite() || v.abs() > MEMBRANE_CLAMP {
+            *v = v.signum() * MEMBRANE_CLAMP;
+        }
     }
 }
 
@@ -1124,5 +1365,184 @@ mod tests {
         let json = serde_json::to_string(&snn).unwrap();
         let back: SnnNetwork = serde_json::from_str(&json).unwrap();
         assert_eq!(back.forward(&x, 2).logits, snn.forward(&x, 2).logits);
+    }
+
+    #[test]
+    fn validate_accepts_clean_network() {
+        assert_eq!(tiny_snn(70).validate(), Ok(()));
+    }
+
+    #[test]
+    fn validate_rejects_nan_weight() {
+        let mut snn = tiny_snn(71);
+        if let SnnOp::Conv2d { weight, .. } = &mut snn.nodes_mut()[1].op {
+            weight.value.data_mut()[0] = f32::NAN;
+        } else {
+            panic!("node 1 should be the conv layer");
+        }
+        let err = snn.validate().unwrap_err();
+        assert!(
+            matches!(err, SnnError::InvalidParam { node: 1, .. }),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn validate_rejects_absurd_threshold() {
+        for bad in [f32::NAN, f32::INFINITY, 0.0, -1.0, MAX_V_TH * 10.0] {
+            let mut snn = tiny_snn(72);
+            let spike = snn.spike_nodes()[0];
+            if let SnnOp::Spike(s) = &mut snn.nodes_mut()[spike].op {
+                s.v_th = Param::scalar(bad, false);
+            }
+            assert!(
+                matches!(snn.validate(), Err(SnnError::InvalidParam { .. })),
+                "v_th {bad} should be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn sanitize_membrane_keeps_clean_values_bitwise() {
+        let mut u = normal(&[64], 0.0, 10.0, &mut seeded_rng(73));
+        let before = u.clone();
+        sanitize_membrane(&mut u);
+        assert_eq!(u, before);
+    }
+
+    #[test]
+    fn sanitize_membrane_rewrites_corrupted_values() {
+        let mut u = Tensor::from_vec(
+            vec![1.5, f32::NAN, f32::INFINITY, f32::NEG_INFINITY, 2e6, -2e6],
+            &[6],
+        )
+        .unwrap();
+        sanitize_membrane(&mut u);
+        assert_eq!(
+            u.data(),
+            &[
+                1.5,
+                0.0,
+                MEMBRANE_CLAMP,
+                -MEMBRANE_CLAMP,
+                MEMBRANE_CLAMP,
+                -MEMBRANE_CLAMP
+            ]
+        );
+    }
+
+    #[test]
+    fn nan_weight_no_longer_poisons_logits() {
+        // With a NaN weight the membrane sanitizer rewrites NaN to 0 at
+        // each spike layer, so downstream logits stay finite.
+        let mut snn = tiny_snn(74);
+        if let SnnOp::Conv2d { weight, .. } = &mut snn.nodes_mut()[1].op {
+            weight.value.data_mut()[0] = f32::NAN;
+        }
+        let x = normal(&[2, 2, 4, 4], 0.0, 1.0, &mut seeded_rng(75));
+        let out = snn.forward(&x, 3);
+        assert!(out.logits.all_finite(), "logits must stay finite");
+    }
+
+    /// Deletes every spike — the most extreme tamper.
+    struct DropAll;
+    impl StepTamper for DropAll {
+        fn tamper_spikes(
+            &self,
+            _step: usize,
+            _node: NodeId,
+            _batch_offset: usize,
+            _amp: f32,
+            out: &mut Tensor,
+        ) {
+            out.fill(0.0);
+        }
+    }
+
+    /// Leaves every spike untouched — disabled fault injection.
+    struct NoopTamper;
+    impl StepTamper for NoopTamper {
+        fn tamper_spikes(
+            &self,
+            _step: usize,
+            _node: NodeId,
+            _batch_offset: usize,
+            _amp: f32,
+            _out: &mut Tensor,
+        ) {
+        }
+    }
+
+    #[test]
+    fn noop_tamper_matches_clean_forward() {
+        let snn = tiny_snn(80);
+        let x = normal(&[3, 2, 4, 4], 0.0, 1.0, &mut seeded_rng(81));
+        let clean = snn.forward(&x, 3);
+        let tampered = snn.forward_tampered(&x, 3, &NoopTamper);
+        assert_eq!(clean.logits, tampered.logits);
+        assert_eq!(clean.stats, tampered.stats);
+    }
+
+    #[test]
+    fn drop_all_tamper_silences_network_and_stats() {
+        let snn = tiny_snn(82);
+        let x = normal(&[2, 2, 4, 4], 0.5, 1.0, &mut seeded_rng(83));
+        let clean = snn.forward(&x, 4);
+        let spike = snn.spike_nodes()[0];
+        assert!(clean.stats.spikes_per_node()[spike] > 0, "need activity");
+        let dead = snn.forward_tampered(&x, 4, &DropAll);
+        // Stats must reflect post-tamper (zero) transmission.
+        assert_eq!(dead.stats.spikes_per_node()[spike], 0);
+        assert_ne!(clean.logits, dead.logits);
+    }
+
+    #[test]
+    fn tampered_forward_is_thread_invariant() {
+        let _guard = parallel::override_lock();
+        let snn = tiny_snn(84);
+        let x = normal(&[5, 2, 4, 4], 0.0, 1.0, &mut seeded_rng(85));
+        parallel::set_threads(1);
+        let serial = snn.forward_tampered(&x, 3, &DropAll);
+        parallel::set_threads(4);
+        let par = snn.forward_tampered(&x, 3, &DropAll);
+        parallel::set_threads(0);
+        assert_eq!(serial.logits, par.logits);
+        assert_eq!(serial.stats, par.stats);
+    }
+
+    #[test]
+    fn forward_until_full_run_matches_forward() {
+        let snn = tiny_snn(86);
+        let x = normal(&[2, 2, 4, 4], 0.0, 1.0, &mut seeded_rng(87));
+        let full = {
+            let _guard = parallel::override_lock();
+            parallel::set_threads(1);
+            let out = snn.forward(&x, 4);
+            parallel::set_threads(0);
+            out
+        };
+        let (out, steps) = snn.forward_until(&x, 4, |_, _| true);
+        assert_eq!(steps, 4);
+        assert_eq!(out.logits, full.logits);
+        assert_eq!(out.stats.spikes_per_node(), full.stats.spikes_per_node());
+    }
+
+    #[test]
+    fn forward_until_stops_early_and_averages_ran_steps() {
+        let snn = tiny_snn(88);
+        let x = normal(&[2, 2, 4, 4], 0.0, 1.0, &mut seeded_rng(89));
+        let mut seen = Vec::new();
+        let (out, steps) = snn.forward_until(&x, 5, |t, logits| {
+            seen.push((t, logits.clone()));
+            t < 2
+        });
+        assert_eq!(steps, 2);
+        assert_eq!(seen.len(), 2);
+        // Returned logits are the mean over the 2 ran steps — identical to
+        // the last callback observation.
+        assert_eq!(out.logits, seen[1].1);
+        // And to a plain 2-step forward.
+        let two = snn.forward(&x, 2);
+        assert_eq!(out.logits, two.logits);
     }
 }

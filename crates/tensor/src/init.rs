@@ -69,6 +69,31 @@ pub fn xavier_uniform(shape: &[usize], rng: &mut StdRng) -> Tensor {
     uniform(shape, -a, a, rng)
 }
 
+/// Stateless counter-based hash: folds `words` into `seed` with a
+/// SplitMix64 finalizer per word. Unlike a sequential RNG stream, the
+/// result depends only on the *coordinates* hashed — not on how many draws
+/// happened before — so decisions derived from it (fault triggers, per-
+/// neuron masks) are identical for any batch chunking or thread count.
+pub fn mix64(seed: u64, words: &[u64]) -> u64 {
+    let mut h = splitmix64(seed ^ 0x9e37_79b9_7f4a_7c15);
+    for &w in words {
+        h = splitmix64(h ^ w.wrapping_mul(0xbf58_476d_1ce4_e5b9));
+    }
+    h
+}
+
+/// Maps a hash to a uniform `f32` in `[0, 1)` (24 high bits → mantissa).
+pub fn unit_f32(h: u64) -> f32 {
+    ((h >> 40) as f32) / (1u64 << 24) as f32
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -120,5 +145,26 @@ mod tests {
     fn odd_length_normal_fills_exactly() {
         let t = normal(&[7], 0.0, 1.0, &mut seeded_rng(9));
         assert_eq!(t.len(), 7);
+    }
+
+    #[test]
+    fn mix64_depends_on_every_coordinate() {
+        let base = mix64(1, &[2, 3, 4]);
+        assert_eq!(base, mix64(1, &[2, 3, 4]));
+        assert_ne!(base, mix64(2, &[2, 3, 4]));
+        assert_ne!(base, mix64(1, &[2, 3, 5]));
+        assert_ne!(base, mix64(1, &[3, 2, 4]), "order must matter");
+        assert_ne!(base, mix64(1, &[2, 3]));
+    }
+
+    #[test]
+    fn unit_f32_is_uniform_enough() {
+        let n = 20_000u64;
+        let mean: f64 = (0..n).map(|i| unit_f32(mix64(7, &[i])) as f64).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+        for i in 0..n {
+            let u = unit_f32(mix64(7, &[i]));
+            assert!((0.0..1.0).contains(&u));
+        }
     }
 }

@@ -23,6 +23,7 @@ pub use ull_energy as energy;
 pub use ull_grad as grad;
 pub use ull_nn as nn;
 pub use ull_obs as obs;
+pub use ull_robust as robust;
 pub use ull_snn as snn;
 pub use ull_tensor as tensor;
 
@@ -47,6 +48,10 @@ pub mod prelude {
         NetworkBuilder, Sgd, SgdConfig, TrainConfig,
     };
     pub use ull_obs::MetricsSnapshot;
+    pub use ull_robust::{
+        anytime_forward, calibrate_margin, evaluate_faulted, profile_envelope, resilience_sweep,
+        AnytimeConfig, FaultConfig, FaultedNetwork, InferenceFault, RateEnvelope, SweepConfig,
+    };
     pub use ull_snn::{
         evaluate_snn, train_snn_epoch, ActivityReport, InputEncoding, SnnNetwork, SnnSgd,
         SnnTrainConfig, SpikeSpec, SpikeStats,
