@@ -110,8 +110,15 @@ fn main() -> ExitCode {
         }
     }
 
+    // Executed-vs-nominal work: `tensor.macs` counts the m·k·n a dense
+    // GEMM would do; `tensor.acs` counts the accumulates the kernels
+    // actually ran after zero-skipping — their ratio is the measured
+    // sparse-compute saving.
     let interesting = [
         "tensor.macs",
+        "tensor.acs",
+        "tensor.im2col.bytes",
+        "tensor.col2im.bytes",
         "nn.train.batches",
         "snn.train.batches",
         "checkpoint.saves",
@@ -126,6 +133,22 @@ fn main() -> ExitCode {
         if let Some(v) = counters.get(key) {
             println!("  {key:<28} {v}");
         }
+    }
+
+    let prefix_sum = |prefix: &str| -> u64 {
+        counters
+            .iter()
+            .filter(|(k, _)| k.starts_with(prefix))
+            .map(|(_, &v)| v)
+            .sum()
+    };
+    let sparse_steps = prefix_sum("snn.dispatch.sparse.node");
+    let dense_steps = prefix_sum("snn.dispatch.dense.node");
+    if sparse_steps + dense_steps > 0 {
+        println!(
+            "  {:<28} {} sparse / {} dense node-steps",
+            "snn.dispatch", sparse_steps, dense_steps
+        );
     }
     ExitCode::SUCCESS
 }

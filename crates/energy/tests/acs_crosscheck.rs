@@ -1,0 +1,101 @@
+//! Cross-checks the *analytical* energy audit against the *measured*
+//! accumulate counter: `audit_snn` prices a run from spike statistics
+//! (analog layers pay `T·MACs`, spike-fed layers pay `ζ·MACs` ACs),
+//! while the tensor kernels count every accumulate they actually execute
+//! into the `tensor.acs` obs counter. On a network where the two models
+//! are exactly comparable — fully-connected only (no conv padding, whose
+//! halo zeros make executed < nominal), batch 1 (ζ is a per-image
+//! average), all-nonzero input — the counter must equal the audit to the
+//! last operation, on both the dense and the event-driven path.
+
+use ull_energy::{audit_dnn, audit_snn};
+use ull_nn::NetworkBuilder;
+use ull_snn::{dispatch, set_sparse_cutoff, SnnNetwork, SpikeSpec};
+use ull_tensor::{parallel, Tensor};
+
+const IN_FEATURES: usize = 18; // 2 channels × 3 × 3
+const HIDDEN: usize = 8;
+const CLASSES: usize = 4;
+
+fn linear_net(seed: u64) -> (ull_nn::Network, SnnNetwork) {
+    let mut b = NetworkBuilder::new(2, 3, seed);
+    b.flatten();
+    b.linear(HIDDEN);
+    b.threshold_relu(0.5);
+    b.linear(CLASSES);
+    let dnn = b.build();
+    let snn = SnnNetwork::from_network(&dnn, &[SpikeSpec::identity(0.5)]).unwrap();
+    (dnn, snn)
+}
+
+fn measured_acs(snn: &SnnNetwork, x: &Tensor, t: usize) -> (u64, ull_snn::SpikeStats) {
+    ull_obs::reset();
+    ull_obs::set_enabled(true);
+    let out = snn.forward(x, t);
+    let snap = ull_obs::snapshot();
+    ull_obs::set_enabled(false);
+    ull_obs::reset();
+    (*snap.counters.get("tensor.acs").unwrap_or(&0), out.stats)
+}
+
+#[test]
+fn executed_accumulates_match_energy_audit_exactly() {
+    let (dnn, snn) = linear_net(5);
+    // Every input element nonzero, so the analog first layer executes its
+    // full nominal MAC count (the dense kernel skips zeros).
+    let mut vals = Vec::with_capacity(IN_FEATURES);
+    for i in 0..IN_FEATURES {
+        vals.push(0.25 + i as f32 * 0.125);
+    }
+    let x = Tensor::from_vec(vals, &[1, 2, 3, 3]).unwrap();
+    let t = 4;
+
+    let _threads = parallel::override_lock();
+    let _cutoff = dispatch::cutoff_lock();
+    let _obs = ull_obs::test_lock();
+    parallel::set_threads(1);
+
+    set_sparse_cutoff(Some(-1.0));
+    let (acs_dense, stats) = measured_acs(&snn, &x, t);
+    set_sparse_cutoff(Some(2.0));
+    let (acs_sparse, stats_sparse) = measured_acs(&snn, &x, t);
+    set_sparse_cutoff(None);
+    parallel::set_threads(0);
+
+    // The two dispatch paths execute the same accumulates, just through
+    // different kernels.
+    assert_eq!(acs_dense, acs_sparse, "dense and event paths disagree");
+    assert_eq!(stats, stats_sparse);
+
+    let dnn_audit = audit_dnn(&dnn, &[2, 3, 3]);
+    let audit = audit_snn(&snn, &dnn_audit, &stats.report());
+
+    // Analytical decomposition: the analog linear pays its MACs every
+    // step; the spike-fed linear pays one AC per (spike, output).
+    let spike_node = snn
+        .nodes()
+        .iter()
+        .position(|n| matches!(n.op, ull_snn::SnnOp::Spike(_)))
+        .expect("one spike layer");
+    let total_spikes: u64 = (stats.report().spike_rate[spike_node] * HIDDEN as f64).round() as u64;
+    assert_eq!(
+        audit.total_macs,
+        (IN_FEATURES * HIDDEN * t) as u64,
+        "analog layer should pay T x nominal MACs"
+    );
+    assert_eq!(
+        audit.total_acs,
+        total_spikes * CLASSES as u64,
+        "spike-fed layer should pay spikes x fan-out ACs"
+    );
+
+    // The measured counter covers both layers across all T steps and must
+    // agree with the audit to the last operation.
+    assert_eq!(
+        acs_dense,
+        audit.total_macs + audit.total_acs,
+        "tensor.acs disagrees with the analytical audit"
+    );
+    // Sanity: the run actually spiked, otherwise the AC leg is vacuous.
+    assert!(total_spikes > 0, "test network never spiked");
+}

@@ -1,0 +1,154 @@
+//! Per-layer sparse-vs-dense kernel dispatch for the event-driven
+//! inference engine.
+//!
+//! Each weighted node (conv / linear) chooses between the dense
+//! im2col+GEMM lowering and the event-driven kernels in
+//! [`ull_tensor::events`] based on the *previous* step's measured input:
+//! was it a uniform-amplitude spike tensor, and what fraction of it was
+//! active? Below the cutoff the sparse kernel wins (work scales with
+//! activity); above it, or on non-uniform input (the analog first layer,
+//! average-pool fractions, residual sums of different amplitudes), the
+//! dense path runs. Both paths are bit-identical, so the choice is purely
+//! a performance decision — which is also why per-batch-chunk decisions
+//! may legitimately differ across `ULL_THREADS` settings without breaking
+//! thread-invariance of results.
+//!
+//! The first simulated step always runs dense (nothing has been measured
+//! yet), and every dense step re-measures, so a layer whose activity
+//! drops mid-run switches to the sparse kernel one step later.
+//!
+//! The cutoff resolves, in order: the programmatic
+//! [`set_sparse_cutoff`] override, the `ULL_SPARSE_CUTOFF` environment
+//! variable (read once), and [`DEFAULT_SPARSE_CUTOFF`]. Setting it below
+//! `0.0` forces the dense path everywhere; setting it to `1.0` or above
+//! makes every uniform spike input take the sparse path.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+/// Input density above which the dense GEMM path is assumed faster than
+/// the event-driven scatter. The sparse kernels do strictly less
+/// arithmetic at any density below 1.0, but pay per-event index decoding
+/// and a non-streaming write pattern; on this workspace's portable scalar
+/// kernels the crossover sits comfortably above the ≤10% rates the paper
+/// reports (Fig. 4a), so a conservative quarter keeps dense GEMM for
+/// near-dense layers only.
+pub const DEFAULT_SPARSE_CUTOFF: f32 = 0.25;
+
+/// Bit pattern (a quiet NaN) marking "no programmatic override". A real
+/// override can never collide: `set_sparse_cutoff` rejects NaN.
+const OVERRIDE_UNSET: u32 = f32::NAN.to_bits();
+
+static OVERRIDE_BITS: AtomicU32 = AtomicU32::new(OVERRIDE_UNSET);
+
+/// `ULL_SPARSE_CUTOFF` is read once; use [`set_sparse_cutoff`] to retune
+/// at runtime.
+static ENV_CUTOFF: OnceLock<Option<f32>> = OnceLock::new();
+
+fn env_cutoff() -> Option<f32> {
+    *ENV_CUTOFF.get_or_init(|| {
+        std::env::var("ULL_SPARSE_CUTOFF")
+            .ok()
+            .and_then(|s| s.trim().parse::<f32>().ok())
+            .filter(|c| !c.is_nan())
+    })
+}
+
+/// The density cutoff the dispatcher is currently using.
+///
+/// Resolution order: [`set_sparse_cutoff`] override → `ULL_SPARSE_CUTOFF`
+/// environment variable → [`DEFAULT_SPARSE_CUTOFF`].
+pub fn sparse_cutoff() -> f32 {
+    let bits = OVERRIDE_BITS.load(Ordering::Relaxed);
+    if bits != OVERRIDE_UNSET {
+        return f32::from_bits(bits);
+    }
+    env_cutoff().unwrap_or(DEFAULT_SPARSE_CUTOFF)
+}
+
+/// Overrides the dispatch cutoff process-wide; `None` restores the
+/// environment/default resolution. Mainly for tests and benches that
+/// compare the two paths within one process (`Some(-1.0)` forces dense
+/// everywhere, `Some(1.0)` forces sparse wherever the input is a uniform
+/// spike tensor). NaN is treated as `None`.
+pub fn set_sparse_cutoff(cutoff: Option<f32>) {
+    let bits = match cutoff {
+        Some(c) if !c.is_nan() => c.to_bits(),
+        _ => OVERRIDE_UNSET,
+    };
+    OVERRIDE_BITS.store(bits, Ordering::Relaxed);
+}
+
+/// Serializes tests that mutate the global cutoff override so they do not
+/// race each other (test binaries run tests concurrently).
+#[doc(hidden)]
+pub fn cutoff_lock() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    match LOCK.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// What one weighted node knows about its input, as measured on the
+/// previous simulated step. Fresh state (`seen == false`) routes dense —
+/// the measurement-free first step.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RouteState {
+    seen: bool,
+    uniform: bool,
+    density: f32,
+}
+
+impl RouteState {
+    /// Whether the next step should try the event-driven kernel.
+    pub fn wants_sparse(&self, cutoff: f32) -> bool {
+        self.seen && self.uniform && self.density <= cutoff
+    }
+
+    /// Records this step's measured input so the *next* step can route.
+    pub fn observe(&mut self, uniform: bool, density: f32) {
+        self.seen = true;
+        self.uniform = uniform;
+        self.density = density;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn override_beats_default_and_restores() {
+        let _guard = cutoff_lock();
+        set_sparse_cutoff(Some(0.5));
+        assert_eq!(sparse_cutoff(), 0.5);
+        set_sparse_cutoff(Some(-1.0));
+        assert_eq!(sparse_cutoff(), -1.0);
+        set_sparse_cutoff(None);
+        assert_eq!(sparse_cutoff(), DEFAULT_SPARSE_CUTOFF);
+    }
+
+    #[test]
+    fn nan_override_means_unset() {
+        let _guard = cutoff_lock();
+        set_sparse_cutoff(Some(f32::NAN));
+        assert_eq!(sparse_cutoff(), DEFAULT_SPARSE_CUTOFF);
+        set_sparse_cutoff(None);
+    }
+
+    #[test]
+    fn route_state_gates_on_all_three_conditions() {
+        let cutoff = 0.25;
+        let mut r = RouteState::default();
+        assert!(!r.wants_sparse(cutoff), "unmeasured input routes dense");
+        r.observe(true, 0.1);
+        assert!(r.wants_sparse(cutoff));
+        r.observe(false, 0.1);
+        assert!(!r.wants_sparse(cutoff), "non-uniform input routes dense");
+        r.observe(true, 0.9);
+        assert!(!r.wants_sparse(cutoff), "dense input routes dense");
+        r.observe(true, 0.25);
+        assert!(r.wants_sparse(cutoff), "cutoff is inclusive");
+    }
+}

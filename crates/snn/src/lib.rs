@@ -40,12 +40,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod dispatch;
 pub mod encoding;
 mod network;
 pub mod profile;
 mod stats;
 mod train;
 
+pub use dispatch::{set_sparse_cutoff, sparse_cutoff, DEFAULT_SPARSE_CUTOFF};
 pub use encoding::InputEncoding;
 pub use network::{
     SnnError, SnnNetwork, SnnNode, SnnOp, SnnOutput, SnnTape, SpikeLayer, SpikeSpec, StepTamper,

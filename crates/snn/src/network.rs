@@ -8,11 +8,15 @@ use rand::rngs::StdRng;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 use ull_nn::{Network, NodeId, NodeOp, Param};
-use ull_tensor::conv::{conv2d, ConvGeometry};
+use ull_tensor::conv::{conv2d, conv2d_into, ConvGeometry, ConvScratch};
 use ull_tensor::parallel;
-use ull_tensor::pool::{avgpool2d, maxpool2d};
-use ull_tensor::{matmul_transpose_b, Tensor};
+use ull_tensor::pool::{avgpool2d, avgpool2d_into, maxpool2d, maxpool2d_into};
+use ull_tensor::{
+    conv2d_events, matmul_tb_events, matmul_transpose_b, matmul_transpose_b_into,
+    scan_uniform_density, SpikeBatch, Tensor,
+};
 
+use crate::dispatch::{self, RouteState};
 use crate::stats::SpikeStats;
 
 /// Error type for SNN construction and transformation.
@@ -256,6 +260,38 @@ pub(crate) enum StepAux {
     None,
     MaxPool { argmax: Vec<usize> },
     Spike { u_temp: Tensor, u_prev: Tensor },
+}
+
+/// Reusable per-batch-chunk simulation state for the eval forward path.
+///
+/// Every buffer a time step needs — membranes, per-node activations, the
+/// event extraction, conv scratch — lives here and is refilled in place,
+/// so after the first step the steady-state loop performs **zero heap
+/// allocations** (asserted by `crates/snn/tests/alloc_free.rs`). One
+/// workspace exists per batch chunk, giving the batch-parallel path
+/// workers fully independent state.
+struct StepWorkspace {
+    membranes: Vec<Option<Tensor>>,
+    /// Per-node output of the current step, reused across steps.
+    acts: Vec<Tensor>,
+    /// Per-weighted-node event extraction of its input.
+    events: Vec<SpikeBatch>,
+    /// Per-weighted-node sparse-vs-dense routing state.
+    routes: Vec<RouteState>,
+    /// Per-conv-node im2col/GEMM scratch for the dense path.
+    conv_scratch: Vec<ConvScratch>,
+}
+
+impl StepWorkspace {
+    fn new(n_nodes: usize) -> Self {
+        StepWorkspace {
+            membranes: vec![None; n_nodes],
+            acts: vec![Tensor::default(); n_nodes],
+            events: vec![SpikeBatch::new(); n_nodes],
+            routes: vec![RouteState::default(); n_nodes],
+            conv_scratch: vec![ConvScratch::default(); n_nodes],
+        }
+    }
 }
 
 /// The BPTT tape: everything [`SnnNetwork::backward`] needs, and the object
@@ -585,6 +621,12 @@ impl SnnNetwork {
     /// Serial simulation of one contiguous batch chunk — the single-thread
     /// body [`SnnNetwork::forward`] distributes over the pool. `tamper`
     /// carries the fault hook plus this chunk's global batch offset.
+    ///
+    /// Runs the event-driven engine: a reusable [`StepWorkspace`] makes
+    /// the steady-state step loop allocation-free, and each weighted node
+    /// routes between the dense and event-driven kernels per
+    /// [`crate::dispatch`]. Results are bit-identical to the tape-capable
+    /// [`SnnNetwork::step`] path for any routing.
     fn forward_chunk(
         &self,
         x: &Tensor,
@@ -593,25 +635,156 @@ impl SnnNetwork {
     ) -> SnnOutput {
         let batch = x.shape()[0];
         let mut stats = SpikeStats::new(self.nodes.len(), batch, t_steps);
-        let mut membranes: Vec<Option<Tensor>> = vec![None; self.nodes.len()];
+        let mut ws = StepWorkspace::new(self.nodes.len());
         let mut logits: Option<Tensor> = None;
         for t in 0..t_steps {
-            let acts = self.step(
-                x,
-                &mut membranes,
-                None,
-                None,
-                &mut stats,
-                tamper.map(|(h, off)| (h, t, off)),
-            );
+            self.step_ws(x, &mut ws, &mut stats, tamper.map(|(h, off)| (h, t, off)));
+            let out_act = &ws.acts[self.output];
             match &mut logits {
-                Some(l) => l.add_assign(&acts[self.output]),
-                None => logits = Some(acts[self.output].clone()),
+                Some(l) => l.add_assign(out_act),
+                None => logits = Some(out_act.clone()),
             }
         }
         let mut logits = logits.expect("at least one step ran");
         logits.scale_in_place(1.0 / t_steps as f32);
         SnnOutput { logits, stats }
+    }
+
+    /// One eval time step over the reusable workspace — the engine behind
+    /// [`SnnNetwork::forward`] / [`SnnNetwork::forward_tampered`].
+    ///
+    /// Semantically identical to [`SnnNetwork::step`] with `masks == None`
+    /// and `aux_out == None`, and bit-identical in output; it differs only
+    /// operationally: every buffer is refilled in place (zero steady-state
+    /// allocations), and each conv/linear node consults its
+    /// [`RouteState`] to run either the dense im2col+GEMM kernel or the
+    /// event-driven kernel on a [`SpikeBatch`] extracted from its input.
+    /// Dispatch decisions are published as `snn.dispatch.{sparse,dense}`
+    /// obs counters (not `SpikeStats`: per-chunk decisions may differ
+    /// across thread counts while results stay bit-identical).
+    fn step_ws(
+        &self,
+        x: &Tensor,
+        ws: &mut StepWorkspace,
+        stats: &mut SpikeStats,
+        tamper: Option<(&dyn StepTamper, usize, usize)>,
+    ) {
+        let cutoff = dispatch::sparse_cutoff();
+        let StepWorkspace {
+            membranes,
+            acts,
+            events,
+            routes,
+            conv_scratch,
+        } = ws;
+        for (i, node) in self.nodes.iter().enumerate() {
+            // Nodes are topologically ordered (inputs have smaller ids),
+            // so the split gives simultaneous read access to every input
+            // and write access to this node's output.
+            let (prev, rest) = acts.split_at_mut(i);
+            let out = &mut rest[0];
+            match &node.op {
+                SnnOp::Input => out.copy_from(x),
+                SnnOp::Conv2d { weight, bias, geo } => {
+                    let inp = &prev[node.inputs[0]];
+                    let bias_t = bias.as_ref().map(|b| &b.value);
+                    let use_sparse =
+                        routes[i].wants_sparse(cutoff) && events[i].refill_from_dense(inp);
+                    if use_sparse {
+                        routes[i].observe(true, events[i].density());
+                        conv2d_events(&events[i], &weight.value, bias_t, *geo, out);
+                    } else {
+                        let (uniform, density) = scan_uniform_density(inp);
+                        routes[i].observe(uniform, density);
+                        conv2d_into(inp, &weight.value, bias_t, *geo, &mut conv_scratch[i], out);
+                    }
+                    record_dispatch(i, use_sparse);
+                }
+                SnnOp::Linear { weight, bias } => {
+                    let inp = &prev[node.inputs[0]];
+                    let use_sparse =
+                        routes[i].wants_sparse(cutoff) && events[i].refill_from_dense(inp);
+                    if use_sparse {
+                        routes[i].observe(true, events[i].density());
+                        matmul_tb_events(&events[i], &weight.value, out);
+                    } else {
+                        let (uniform, density) = scan_uniform_density(inp);
+                        routes[i].observe(uniform, density);
+                        matmul_transpose_b_into(inp, &weight.value, out);
+                    }
+                    if let Some(b) = bias {
+                        let width = weight.value.shape()[0];
+                        let bd = b.value.data();
+                        for row in out.data_mut().chunks_mut(width) {
+                            for (v, &bb) in row.iter_mut().zip(bd) {
+                                *v += bb;
+                            }
+                        }
+                    }
+                    record_dispatch(i, use_sparse);
+                }
+                SnnOp::Spike(layer) => {
+                    let inp = &prev[node.inputs[0]];
+                    let v_th = layer.v_th.scalar_value();
+                    let leak = layer.leak.scalar_value();
+                    let amp = layer.amp;
+                    let membrane =
+                        membranes[i].get_or_insert_with(|| Tensor::full(inp.shape(), layer.u_init));
+                    // Eq. 2 in place: U_temp = λ·U(t−1) + I(t). Same
+                    // per-element expression as the tape path, so results
+                    // match bit for bit.
+                    for (u, &iv) in membrane.data_mut().iter_mut().zip(inp.data()) {
+                        *u = *u * leak + iv;
+                    }
+                    sanitize_membrane(membrane);
+                    // Eq. 3/8: spike and scaled output; Eq. 4 soft reset
+                    // consumes U_temp into U(t) directly — eval never
+                    // needs the pre-reset copy the BPTT tape keeps.
+                    out.reset_shaped(inp.shape());
+                    let mut spike_count = 0u64;
+                    for (o, u) in out.data_mut().iter_mut().zip(membrane.data_mut()) {
+                        if *u > v_th {
+                            *o = amp;
+                            *u -= v_th;
+                            spike_count += 1;
+                        }
+                    }
+                    if let Some((hook, t, batch_offset)) = tamper {
+                        hook.tamper_spikes(t, i, batch_offset, amp, out);
+                        spike_count = out.data().iter().filter(|v| **v != 0.0).count() as u64;
+                    }
+                    stats.record(i, spike_count, inp.len());
+                }
+                SnnOp::MaxPool2d { k } => maxpool2d_into(&prev[node.inputs[0]], *k, out),
+                SnnOp::AvgPool2d { k } => avgpool2d_into(&prev[node.inputs[0]], *k, out),
+                // Eval dropout is the identity (masks only exist in
+                // forward_train, which uses the tape path).
+                SnnOp::Dropout { .. } => out.copy_from(&prev[node.inputs[0]]),
+                SnnOp::Flatten => {
+                    let inp = &prev[node.inputs[0]];
+                    let n = inp.shape()[0];
+                    let rest: usize = inp.shape()[1..].iter().product();
+                    out.copy_from(inp);
+                    out.reshape_in_place(&[n, rest])
+                        .expect("flatten preserves length");
+                }
+                SnnOp::Add => {
+                    let a = &prev[node.inputs[0]];
+                    let b = &prev[node.inputs[1]];
+                    assert_eq!(
+                        a.shape(),
+                        b.shape(),
+                        "add: shape mismatch {:?} vs {:?}",
+                        a.shape(),
+                        b.shape()
+                    );
+                    out.reset_shaped(a.shape());
+                    for ((o, &av), &bv) in out.data_mut().iter_mut().zip(a.data()).zip(b.data()) {
+                        *o = av + bv;
+                    }
+                }
+            }
+        }
     }
 
     /// Deadline-aware anytime inference: simulates up to `t_max` steps,
@@ -846,32 +1019,58 @@ impl SnnNetwork {
                     let v_th = layer.v_th.scalar_value();
                     let leak = layer.leak.scalar_value();
                     let amp = layer.amp;
-                    let u_prev = match &membranes[i] {
-                        Some(u) => u.clone(),
+                    let u_prev = match membranes[i].take() {
+                        Some(u) => u,
                         None => Tensor::full(input.shape(), layer.u_init),
                     };
-                    // Eq. 2: U_temp = λ·U(t−1) + I(t)
-                    let mut u_temp = u_prev.scale(leak);
-                    u_temp.add_assign(input);
-                    // Hardening: corrupted weights can push membranes to
-                    // NaN/±∞, which would propagate silently. Only
-                    // non-finite or absurd values are rewritten, so clean
-                    // runs stay bit-identical.
-                    sanitize_membrane(&mut u_temp);
-                    // Eq. 3/8: spike and scaled output.
                     let mut out = Tensor::zeros(input.shape());
-                    let mut u_next = u_temp.clone();
                     let mut spike_count = 0u64;
-                    {
-                        let od = out.data_mut();
-                        let un = u_next.data_mut();
-                        for (j, &u) in u_temp.data().iter().enumerate() {
-                            if u > v_th {
-                                od[j] = amp;
-                                un[j] = u - v_th; // Eq. 4 soft reset by V^th
-                                spike_count += 1;
+                    if aux_out.is_some() {
+                        // The BPTT tape needs both U(t−1) and the
+                        // pre-reset U_temp, so this branch pays for the
+                        // copies.
+                        // Eq. 2: U_temp = λ·U(t−1) + I(t)
+                        let mut u_temp = u_prev.scale(leak);
+                        u_temp.add_assign(input);
+                        // Hardening: corrupted weights can push membranes
+                        // to NaN/±∞, which would propagate silently. Only
+                        // non-finite or absurd values are rewritten, so
+                        // clean runs stay bit-identical.
+                        sanitize_membrane(&mut u_temp);
+                        // Eq. 3/8: spike and scaled output.
+                        let mut u_next = u_temp.clone();
+                        {
+                            let od = out.data_mut();
+                            let un = u_next.data_mut();
+                            for (j, &u) in u_temp.data().iter().enumerate() {
+                                if u > v_th {
+                                    od[j] = amp;
+                                    un[j] = u - v_th; // Eq. 4 soft reset by V^th
+                                    spike_count += 1;
+                                }
                             }
                         }
+                        membranes[i] = Some(u_next);
+                        aux = StepAux::Spike { u_temp, u_prev };
+                    } else {
+                        // Eval never reads the tape: apply Eq. 2–4 to the
+                        // membrane in place, skipping both clones. Same
+                        // per-element expressions, so bit-identical.
+                        let mut u = u_prev;
+                        u.scale_in_place(leak);
+                        u.add_assign(input);
+                        sanitize_membrane(&mut u);
+                        {
+                            let od = out.data_mut();
+                            for (o, uv) in od.iter_mut().zip(u.data_mut()) {
+                                if *uv > v_th {
+                                    *o = amp;
+                                    *uv -= v_th; // Eq. 4 soft reset by V^th
+                                    spike_count += 1;
+                                }
+                            }
+                        }
+                        membranes[i] = Some(u);
                     }
                     if let Some((hook, t, batch_offset)) = tamper {
                         hook.tamper_spikes(t, i, batch_offset, amp, &mut out);
@@ -881,10 +1080,6 @@ impl SnnNetwork {
                         spike_count = out.data().iter().filter(|v| **v != 0.0).count() as u64;
                     }
                     stats.record(i, spike_count, input.len());
-                    membranes[i] = Some(u_next);
-                    if aux_out.is_some() {
-                        aux = StepAux::Spike { u_temp, u_prev };
-                    }
                     out
                 }
                 SnnOp::MaxPool2d { k } => {
@@ -1024,6 +1219,20 @@ fn sanitize_membrane(u: &mut Tensor) {
             *v = v.signum() * MEMBRANE_CLAMP;
         }
     }
+}
+
+/// Publishes one per-node kernel-dispatch decision as obs counters
+/// (`snn.dispatch.sparse.node.<id>` / `snn.dispatch.dense.node.<id>`).
+/// Deliberately *not* part of [`SpikeStats`]: per-batch-chunk decisions
+/// may differ across `ULL_THREADS` settings while results stay
+/// bit-identical, and stats must compare equal across thread counts.
+fn record_dispatch(node: usize, sparse: bool) {
+    let key = if sparse {
+        "snn.dispatch.sparse.node"
+    } else {
+        "snn.dispatch.dense.node"
+    };
+    ull_obs::counter_add_indexed(key, node, 1);
 }
 
 fn acts_input(net: &SnnNetwork, acts: &[Tensor], id: NodeId) -> Tensor {

@@ -1,0 +1,107 @@
+//! Proves the steady-state step loop of the event-driven forward pass is
+//! allocation-free: once the `StepWorkspace` buffers have grown to their
+//! working sizes (and every layer's dispatch route has been exercised),
+//! additional time steps must not touch the allocator.
+//!
+//! The check compares total allocator hits for a short run against a
+//! longer run of the same network and input: per-step routing decisions
+//! are deterministic per step index, so every allocation the long run
+//! performs beyond the short run would have to come from the extra steady
+//! steps — the assertion is that there are none.
+//!
+//! This lives in an integration test because the library crates
+//! `forbid(unsafe_code)` and a counting `#[global_allocator]` needs an
+//! `unsafe impl`.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use ull_nn::NetworkBuilder;
+use ull_snn::{dispatch, set_sparse_cutoff, SnnNetwork, SpikeSpec};
+use ull_tensor::init::{normal, seeded_rng};
+use ull_tensor::parallel;
+
+static ALLOC_HITS: AtomicU64 = AtomicU64::new(0);
+
+struct CountingAlloc;
+
+// SAFETY: defers entirely to `System`; the counter is a relaxed atomic.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_HITS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOC_HITS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_HITS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+fn test_net(seed: u64) -> SnnNetwork {
+    let mut b = NetworkBuilder::new(2, 8, seed);
+    b.conv2d(4, 3, 1, 1);
+    b.threshold_relu(0.7);
+    b.conv2d(5, 3, 1, 1);
+    b.threshold_relu(0.9);
+    b.maxpool(2);
+    b.flatten();
+    b.linear(5);
+    let dnn = b.build();
+    SnnNetwork::from_network(&dnn, &[SpikeSpec::identity(0.7), SpikeSpec::identity(0.9)]).unwrap()
+}
+
+fn allocs_during(f: impl FnOnce()) -> u64 {
+    let before = ALLOC_HITS.load(Ordering::Relaxed);
+    f();
+    ALLOC_HITS.load(Ordering::Relaxed) - before
+}
+
+#[test]
+fn steady_state_step_loop_does_not_allocate() {
+    let snn = test_net(42);
+    let x = normal(&[3, 2, 8, 8], 0.0, 1.0, &mut seeded_rng(99));
+    // Single thread (inline execution, no pool hand-off buffers) and a
+    // fixed sparse-everywhere cutoff so both kernel families are hit.
+    let _threads = parallel::override_lock();
+    let _cutoff = dispatch::cutoff_lock();
+    parallel::set_threads(1);
+
+    for cutoff in [2.0f32, -1.0] {
+        set_sparse_cutoff(Some(cutoff));
+        // Warm up lazily initialised process state (thread-count cache,
+        // cutoff cell, allocator internals).
+        snn.forward(&x, 1);
+
+        // By the end of step 2 every buffer has reached its working size:
+        // step 1 routes dense everywhere (first-step rule) and grows the
+        // dense scratch; step 2 flips the uniform low-activity layers to
+        // the event path and grows the event buffers. Steps 3+ must be
+        // allocation-free, so T=8 may not out-allocate T=2.
+        let short = allocs_during(|| {
+            snn.forward(&x, 2);
+        });
+        let long = allocs_during(|| {
+            snn.forward(&x, 8);
+        });
+        assert!(
+            long <= short,
+            "steady-state steps allocated: T=2 cost {short} hits, T=8 cost {long} (cutoff {cutoff})"
+        );
+    }
+
+    set_sparse_cutoff(None);
+    parallel::set_threads(0);
+}

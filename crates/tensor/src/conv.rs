@@ -13,7 +13,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use crate::{matmul, matmul_transpose_a, matmul_transpose_b, parallel, Tensor};
+use crate::{matmul, matmul_transpose_a, parallel, Tensor};
 
 /// Geometry of a 2-d convolution (square stride/padding, arbitrary kernel).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -72,16 +72,36 @@ impl ConvGeometry {
 ///
 /// Panics if `input` is not rank 4 or the geometry does not fit.
 pub fn im2col(input: &Tensor, geo: ConvGeometry) -> Tensor {
+    let mut cols = Vec::new();
+    let (rows, ckk) = im2col_into(input, geo, &mut cols);
+    Tensor::from_vec(cols, &[rows, ckk]).expect("im2col length by construction")
+}
+
+/// [`im2col`] writing into a caller-owned buffer (cleared and resized in
+/// place), returning `(rows, ckk)` of the `[N·OH·OW, C·KH·KW]` matrix it
+/// filled. Steady-state callers reuse the buffer's capacity and allocate
+/// nothing.
+///
+/// # Panics
+///
+/// Panics if `input` is not rank 4 or the geometry does not fit.
+pub fn im2col_into(input: &Tensor, geo: ConvGeometry, cols: &mut Vec<f32>) -> (usize, usize) {
     let [n, c, h, w] = dims4(input, "im2col input");
     let (oh, ow) = geo.output_hw(h, w);
     let ckk = c * geo.kh * geo.kw;
-    let mut cols = vec![0.0f32; n * oh * ow * ckk];
+    let _span = ull_obs::span("tensor.im2col");
+    ull_obs::counter_add(
+        "tensor.im2col.bytes",
+        (n * oh * ow * ckk * std::mem::size_of::<f32>()) as u64,
+    );
+    cols.clear();
+    cols.resize(n * oh * ow * ckk, 0.0);
     let data = input.data();
     let pad = geo.padding as isize;
     // One batch image per work item: image `b` owns the contiguous column
     // rows `[b·OH·OW, (b+1)·OH·OW)`, and every written value depends only
     // on the input, so the result is identical for any thread count.
-    parallel::par_chunks_mut(&mut cols, oh * ow * ckk, |b, image_cols| {
+    parallel::par_chunks_mut(cols, oh * ow * ckk, |b, image_cols| {
         for oy in 0..oh {
             for ox in 0..ow {
                 let row = (oy * ow + ox) * ckk;
@@ -108,7 +128,7 @@ pub fn im2col(input: &Tensor, geo: ConvGeometry) -> Tensor {
             }
         }
     });
-    Tensor::from_vec(cols, &[n * oh * ow, ckk]).expect("im2col length by construction")
+    (n * oh * ow, ckk)
 }
 
 /// Inverse scatter of [`im2col`]: accumulates columns back into `[N, C, H, W]`.
@@ -127,6 +147,11 @@ pub fn col2im(cols: &Tensor, n: usize, c: usize, h: usize, w: usize, geo: ConvGe
         cols.shape(),
         &[n * oh * ow, ckk],
         "col2im: column matrix has wrong shape"
+    );
+    let _span = ull_obs::span("tensor.col2im");
+    ull_obs::counter_add(
+        "tensor.col2im.bytes",
+        (cols.len() * std::mem::size_of::<f32>()) as u64,
     );
     let mut out = vec![0.0f32; n * c * h * w];
     let data = cols.data();
@@ -173,6 +198,36 @@ pub fn col2im(cols: &Tensor, n: usize, c: usize, h: usize, w: usize, geo: ConvGe
 ///
 /// Panics on rank or channel mismatches.
 pub fn conv2d(input: &Tensor, weight: &Tensor, bias: Option<&Tensor>, geo: ConvGeometry) -> Tensor {
+    let mut scratch = ConvScratch::default();
+    let mut out = Tensor::default();
+    conv2d_into(input, weight, bias, geo, &mut scratch, &mut out);
+    out
+}
+
+/// Reusable intermediate buffers for [`conv2d_into`]: the im2col column
+/// matrix and the `[N·OH·OW, F]` GEMM product. Keeping one per conv node in
+/// the SNN step workspace removes the two largest per-step allocations.
+#[derive(Debug, Default, Clone)]
+pub struct ConvScratch {
+    cols: Vec<f32>,
+    prod: Vec<f32>,
+}
+
+/// [`conv2d`] writing into caller-owned scratch and output buffers (resized
+/// in place). Steady-state callers allocate nothing; results are
+/// bit-identical to [`conv2d`], which is this function with fresh buffers.
+///
+/// # Panics
+///
+/// Panics on rank or channel mismatches.
+pub fn conv2d_into(
+    input: &Tensor,
+    weight: &Tensor,
+    bias: Option<&Tensor>,
+    geo: ConvGeometry,
+    scratch: &mut ConvScratch,
+    out: &mut Tensor,
+) {
     let [n, c, h, w] = dims4(input, "conv2d input");
     let [f, wc, kh, kw] = dims4(weight, "conv2d weight");
     assert_eq!(
@@ -186,23 +241,30 @@ pub fn conv2d(input: &Tensor, weight: &Tensor, bias: Option<&Tensor>, geo: ConvG
     );
     let _span = ull_obs::span("tensor.conv2d");
     let (oh, ow) = geo.output_hw(h, w);
-    let cols = im2col(input, geo);
-    let w2 = weight
-        .reshape(&[f, c * kh * kw])
-        .expect("weight reshape to [F, CKK]");
+    let (rows, ckk) = im2col_into(input, geo, &mut scratch.cols);
+    scratch.prod.clear();
+    scratch.prod.resize(rows * f, 0.0);
+    // Weights are `[F, C, KH, KW]` row-major, which *is* the `[F, CKK]`
+    // matrix the GEMM wants — no reshape copy needed.
     // [N·OH·OW, CKK] x [F, CKK]ᵀ -> [N·OH·OW, F]
-    let mut prod = matmul_transpose_b(&cols, &w2);
+    crate::matmul::matmul_tb_raw(
+        &scratch.cols,
+        rows,
+        ckk,
+        weight.data(),
+        f,
+        &mut scratch.prod,
+    );
     if let Some(b) = bias {
         assert_eq!(b.shape(), &[f], "conv2d: bias must have shape [F]");
-        let pd = prod.data_mut();
         let bd = b.data();
-        for row in pd.chunks_mut(f) {
+        for row in scratch.prod.chunks_mut(f) {
             for (x, &bv) in row.iter_mut().zip(bd) {
                 *x += bv;
             }
         }
     }
-    rows_to_nchw(&prod, n, f, oh, ow)
+    rows_to_nchw_into(&scratch.prod, n, f, oh, ow, out);
 }
 
 /// Gradients of [`conv2d`] with respect to input, weight and bias.
@@ -276,17 +338,30 @@ pub fn rows_to_nchw(rows: &Tensor, n: usize, f: usize, oh: usize, ow: usize) -> 
         &[n * oh * ow, f],
         "rows_to_nchw: shape mismatch"
     );
-    let mut out = vec![0.0f32; rows.len()];
-    let data = rows.data();
+    let mut out = Tensor::default();
+    rows_to_nchw_into(rows.data(), n, f, oh, ow, &mut out);
+    out
+}
+
+/// [`rows_to_nchw`] over a raw `[N·OH·OW, F]` slice, writing into a
+/// caller-owned output tensor (resized in place, allocation-free at steady
+/// state).
+///
+/// # Panics
+///
+/// Panics if `data.len() != n·f·oh·ow`.
+pub fn rows_to_nchw_into(data: &[f32], n: usize, f: usize, oh: usize, ow: usize, out: &mut Tensor) {
+    assert_eq!(data.len(), n * f * oh * ow, "rows_to_nchw: length mismatch");
+    out.reset_shaped(&[n, f, oh, ow]);
+    let od = out.data_mut();
     for b in 0..n {
         for p in 0..oh * ow {
             let src = (b * oh * ow + p) * f;
             for ch in 0..f {
-                out[(b * f + ch) * oh * ow + p] = data[src + ch];
+                od[(b * f + ch) * oh * ow + p] = data[src + ch];
             }
         }
     }
-    Tensor::from_vec(out, &[n, f, oh, ow]).expect("rows_to_nchw length")
 }
 
 fn dims4(t: &Tensor, what: &str) -> [usize; 4] {

@@ -8,6 +8,9 @@
 //! * elementwise arithmetic and mapping ([`Tensor::add`], [`Tensor::map`], …)
 //! * matrix multiplication ([`matmul`])
 //! * 2-d convolution via im2col with full backward passes ([`conv`])
+//! * event-driven sparse kernels over compact spike batches ([`events`]),
+//!   bit-identical to the dense path but scaling with activity
+
 //! * max / average pooling with backward passes ([`pool`])
 //! * reductions, softmax, and clipping (the threshold-ReLU of Eq. 1)
 //! * statistics used by the conversion algorithm: percentiles and
@@ -42,6 +45,7 @@ mod ops;
 mod tensor;
 
 pub mod conv;
+pub mod events;
 pub mod init;
 pub mod matmul;
 pub mod parallel;
@@ -49,7 +53,8 @@ pub mod pool;
 pub mod stats;
 
 pub use error::TensorError;
-pub use matmul::{matmul, matmul_transpose_a, matmul_transpose_b};
+pub use events::{conv2d_events, matmul_tb_events, scan_uniform_density, SpikeBatch};
+pub use matmul::{matmul, matmul_transpose_a, matmul_transpose_b, matmul_transpose_b_into};
 pub use tensor::Tensor;
 
 /// Convenience alias for results returned by fallible tensor constructors.

@@ -17,10 +17,12 @@
 //! thread count, so results are bit-identical for any `ULL_THREADS`.
 //!
 //! Each kernel opens an `ull_obs` span and adds its *nominal* `m·k·n`
-//! multiply-accumulate count to the `tensor.macs` counter (the zero-skip
-//! below means fewer are actually executed on sparse spike matrices; the
-//! energy model in `ull-energy` accounts for that separately). With
-//! observability disabled this costs one atomic load per call.
+//! multiply-accumulate count to the `tensor.macs` counter. Because every
+//! kernel skips zero lhs entries, the *executed* accumulate count can be
+//! far lower on sparse spike matrices; that measured count goes to the
+//! separate `tensor.acs` counter so the gap is observable (it is what the
+//! `ull-energy` AC model predicts from spike rates). With observability
+//! disabled each kernel costs one atomic load per call.
 
 use crate::parallel;
 use crate::Tensor;
@@ -60,6 +62,7 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
     let block = row_block(m);
     parallel::par_chunks_mut(&mut out, block * n, |ci, chunk| {
         let i0 = ci * block;
+        let mut executed = 0u64;
         for (ri, orow) in chunk.chunks_mut(n).enumerate() {
             let i = i0 + ri;
             let arow = &ad[i * k..(i + 1) * k];
@@ -67,12 +70,14 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
                 if av == 0.0 {
                     continue; // spike matrices are sparse; skipping zeros is the AC model
                 }
+                executed += n as u64;
                 let brow = &bd[p * n..(p + 1) * n];
                 for (o, &bv) in orow.iter_mut().zip(brow) {
                     *o += av * bv;
                 }
             }
         }
+        ull_obs::counter_add("tensor.acs", executed);
     });
     Tensor::from_vec(out, &[m, n]).expect("matmul output length is m*n by construction")
 }
@@ -101,6 +106,7 @@ pub fn matmul_transpose_a(a: &Tensor, b: &Tensor) -> Tensor {
     parallel::par_chunks_mut(&mut out, block * n, |ci, chunk| {
         let i0 = ci * block;
         let rows = chunk.len() / n;
+        let mut executed = 0u64;
         for p in 0..k {
             let arow = &ad[p * m..(p + 1) * m];
             let brow = &bd[p * n..(p + 1) * n];
@@ -109,12 +115,14 @@ pub fn matmul_transpose_a(a: &Tensor, b: &Tensor) -> Tensor {
                 if av == 0.0 {
                     continue;
                 }
+                executed += n as u64;
                 let orow = &mut chunk[ri * n..(ri + 1) * n];
                 for (o, &bv) in orow.iter_mut().zip(brow) {
                     *o += av * bv;
                 }
             }
         }
+        ull_obs::counter_add("tensor.acs", executed);
     });
     Tensor::from_vec(out, &[m, n]).expect("matmul_transpose_a output length is m*n")
 }
@@ -125,33 +133,65 @@ pub fn matmul_transpose_a(a: &Tensor, b: &Tensor) -> Tensor {
 ///
 /// Panics if either operand is not rank 2 or the trailing dimensions disagree.
 pub fn matmul_transpose_b(a: &Tensor, b: &Tensor) -> Tensor {
+    let mut out = Tensor::default();
+    matmul_transpose_b_into(a, b, &mut out);
+    out
+}
+
+/// [`matmul_transpose_b`] writing into a caller-owned output tensor, which
+/// is resized in place — steady-state callers (the SNN step workspace)
+/// therefore allocate nothing.
+///
+/// # Panics
+///
+/// Panics if either operand is not rank 2 or the trailing dimensions disagree.
+pub fn matmul_transpose_b_into(a: &Tensor, b: &Tensor, out: &mut Tensor) {
     let (m, k) = dims2(a, "matmul_transpose_b lhs");
     let (n, k2) = dims2(b, "matmul_transpose_b rhs");
     assert_eq!(
         k, k2,
         "matmul_transpose_b: trailing dims disagree ({k} vs {k2})"
     );
+    out.reset_shaped(&[m, n]);
+    matmul_tb_raw(a.data(), m, k, b.data(), n, out.data_mut());
+}
+
+/// Row-major `C = A · Bᵀ` over raw slices: `ad: [m, k]`, `bd: [n, k]`,
+/// `out: [m, n]`. The shared core of [`matmul_transpose_b_into`] and
+/// [`crate::conv::conv2d_into`] (whose scratch buffers are plain `Vec`s).
+///
+/// Zero lhs entries are skipped; each output element still accumulates its
+/// non-zero terms in ascending `k` order, so results are bit-identical to
+/// the skip-free loop whenever the rhs is finite (`0·finite == ±0.0`, and
+/// `acc + ±0.0` leaves `acc` unchanged for every `acc` the loop can hold).
+pub(crate) fn matmul_tb_raw(ad: &[f32], m: usize, k: usize, bd: &[f32], n: usize, out: &mut [f32]) {
+    assert_eq!(ad.len(), m * k, "matmul_tb_raw: lhs length");
+    assert_eq!(bd.len(), n * k, "matmul_tb_raw: rhs length");
+    assert_eq!(out.len(), m * n, "matmul_tb_raw: out length");
     let _span = ull_obs::span("tensor.matmul_tb");
     ull_obs::counter_add("tensor.macs", (m * k * n) as u64);
-    let mut out = vec![0.0f32; m * n];
-    let ad = a.data();
-    let bd = b.data();
     let block = row_block(m);
-    parallel::par_chunks_mut(&mut out, block * n, |ci, chunk| {
+    parallel::par_chunks_mut(out, block * n, |ci, chunk| {
         let i0 = ci * block;
+        let mut executed = 0u64;
         for (ri, orow) in chunk.chunks_mut(n).enumerate() {
             let arow = &ad[(i0 + ri) * k..(i0 + ri + 1) * k];
+            let nz = arow.iter().filter(|&&av| av != 0.0).count() as u64;
+            executed += nz * n as u64;
             for (j, o) in orow.iter_mut().enumerate() {
                 let brow = &bd[j * k..(j + 1) * k];
                 let mut acc = 0.0f32;
                 for (&av, &bv) in arow.iter().zip(brow) {
+                    if av == 0.0 {
+                        continue;
+                    }
                     acc += av * bv;
                 }
                 *o = acc;
             }
         }
+        ull_obs::counter_add("tensor.acs", executed);
     });
-    Tensor::from_vec(out, &[m, n]).expect("matmul_transpose_b output length is m*n")
 }
 
 fn dims2(t: &Tensor, what: &str) -> (usize, usize) {
@@ -262,6 +302,72 @@ mod tests {
         }
         let b = rand_tensor(&[6, 3], 11);
         assert_close(&matmul(&a, &b), &naive(&a, &b), 1e-5);
+    }
+
+    #[test]
+    fn transpose_b_zero_skip_is_bit_identical_on_sparse_lhs() {
+        // Regression: the spike-input path is A·Wᵀ with a mostly-zero A;
+        // skipping the zeros must not change a single bit versus the
+        // skip-free reference accumulation.
+        let naive_tb = |a: &Tensor, b: &Tensor| {
+            let (m, k) = (a.shape()[0], a.shape()[1]);
+            let n = b.shape()[0];
+            let mut out = Tensor::zeros(&[m, n]);
+            for i in 0..m {
+                for j in 0..n {
+                    let mut acc = 0.0f32;
+                    for p in 0..k {
+                        acc += a.at(&[i, p]) * b.at(&[j, p]);
+                    }
+                    out.set(&[i, j], acc);
+                }
+            }
+            out
+        };
+        let mut a = rand_tensor(&[6, 9], 12);
+        // Spike-like lhs: ~80% exact zeros, the rest one common amplitude.
+        for (i, v) in a.data_mut().iter_mut().enumerate() {
+            *v = if (i * 2654435761) % 5 == 0 { 0.75 } else { 0.0 };
+        }
+        let b = rand_tensor(&[4, 9], 13);
+        let got = matmul_transpose_b(&a, &b);
+        let want = naive_tb(&a, &b);
+        assert_eq!(got.shape(), want.shape());
+        for (x, y) in got.data().iter().zip(want.data()) {
+            assert_eq!(x.to_bits(), y.to_bits(), "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn transpose_b_into_reuses_buffer() {
+        let a = rand_tensor(&[3, 5], 20);
+        let b = rand_tensor(&[4, 5], 21);
+        let mut out = Tensor::zeros(&[100]);
+        matmul_transpose_b_into(&a, &b, &mut out);
+        assert_eq!(out, matmul_transpose_b(&a, &b));
+    }
+
+    #[test]
+    fn executed_acs_counter_reflects_sparsity() {
+        let _obs = ull_obs::test_lock();
+        let _guard = parallel::override_lock();
+        parallel::set_threads(1);
+        ull_obs::reset();
+        ull_obs::set_enabled(true);
+        let mut a = rand_tensor(&[4, 10], 30);
+        for (i, v) in a.data_mut().iter_mut().enumerate() {
+            *v = if i % 2 == 0 { 1.0 } else { 0.0 }; // exactly half the lhs is zero
+        }
+        let b = rand_tensor(&[10, 6], 31);
+        let bt = rand_tensor(&[6, 10], 32);
+        let _ = matmul(&a, &b);
+        let _ = matmul_transpose_b(&a, &bt);
+        ull_obs::set_enabled(false);
+        let snap = ull_obs::snapshot();
+        // Nominal: 2 · (4·10·6); executed: half of that in each kernel.
+        assert_eq!(snap.counters["tensor.macs"], 2 * 4 * 10 * 6);
+        assert_eq!(snap.counters["tensor.acs"], 4 * 10 * 6);
+        parallel::set_threads(0);
     }
 
     #[test]

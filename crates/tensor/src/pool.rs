@@ -67,6 +67,48 @@ pub fn maxpool2d(input: &Tensor, k: usize) -> MaxPoolOutput {
     }
 }
 
+/// Eval-only [`maxpool2d`] writing into a caller-owned output tensor
+/// (resized in place) and skipping the argmax map — the SNN inference loop
+/// never needs it, and dropping it makes the step workspace allocation-free.
+/// Output values are bit-identical to [`maxpool2d`].
+///
+/// # Panics
+///
+/// Same conditions as [`maxpool2d`].
+pub fn maxpool2d_into(input: &Tensor, k: usize, out: &mut Tensor) {
+    let [n, c, h, w] = dims4(input);
+    assert!(k > 0, "pooling window must be positive");
+    assert!(
+        h % k == 0 && w % k == 0,
+        "maxpool2d: input {h}x{w} not divisible by window {k}"
+    );
+    let (oh, ow) = (h / k, w / k);
+    out.reset_shaped(&[n, c, oh, ow]);
+    let od = out.data_mut();
+    let data = input.data();
+    for b in 0..n {
+        for ch in 0..c {
+            let plane = (b * c + ch) * h * w;
+            let oplane = (b * c + ch) * oh * ow;
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut best = f32::NEG_INFINITY;
+                    for ky in 0..k {
+                        let row = plane + (oy * k + ky) * w + ox * k;
+                        for kx in 0..k {
+                            let v = data[row + kx];
+                            if v > best {
+                                best = v;
+                            }
+                        }
+                    }
+                    od[oplane + oy * ow + ox] = best;
+                }
+            }
+        }
+    }
+}
+
 /// Backward pass of [`maxpool2d`]: routes each output gradient to the input
 /// element that won the max.
 ///
@@ -123,6 +165,44 @@ pub fn avgpool2d(input: &Tensor, k: usize) -> Tensor {
         }
     }
     Tensor::from_vec(out, &[n, c, oh, ow]).expect("avgpool output length")
+}
+
+/// [`avgpool2d`] writing into a caller-owned output tensor (resized in
+/// place, allocation-free at steady state). Bit-identical to [`avgpool2d`].
+///
+/// # Panics
+///
+/// Same conditions as [`avgpool2d`].
+pub fn avgpool2d_into(input: &Tensor, k: usize, out: &mut Tensor) {
+    let [n, c, h, w] = dims4(input);
+    assert!(k > 0, "pooling window must be positive");
+    assert!(
+        h % k == 0 && w % k == 0,
+        "avgpool2d: input {h}x{w} not divisible by window {k}"
+    );
+    let (oh, ow) = (h / k, w / k);
+    let inv = 1.0 / (k * k) as f32;
+    out.reset_shaped(&[n, c, oh, ow]);
+    let od = out.data_mut();
+    let data = input.data();
+    for b in 0..n {
+        for ch in 0..c {
+            let plane = (b * c + ch) * h * w;
+            let oplane = (b * c + ch) * oh * ow;
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut acc = 0.0;
+                    for ky in 0..k {
+                        let row = plane + (oy * k + ky) * w + ox * k;
+                        for kx in 0..k {
+                            acc += data[row + kx];
+                        }
+                    }
+                    od[oplane + oy * ow + ox] = acc * inv;
+                }
+            }
+        }
+    }
 }
 
 /// Backward pass of [`avgpool2d`]: spreads each output gradient uniformly
@@ -271,6 +351,22 @@ mod tests {
         let y = avgpool2d(&x, 4);
         assert_eq!(y.shape(), &[2, 3, 1, 1]);
         assert!(y.data().iter().all(|&v| (v - 1.0).abs() < 1e-6));
+    }
+
+    #[test]
+    fn into_variants_match_allocating_kernels() {
+        let x = Tensor::from_vec(
+            (0..64)
+                .map(|i| ((i * 2654435761usize) % 17) as f32 * 0.25 - 2.0)
+                .collect(),
+            &[2, 2, 4, 4],
+        )
+        .unwrap();
+        let mut out = Tensor::zeros(&[5]);
+        maxpool2d_into(&x, 2, &mut out);
+        assert_eq!(out, maxpool2d(&x, 2).output);
+        avgpool2d_into(&x, 2, &mut out);
+        assert_eq!(out, avgpool2d(&x, 2));
     }
 
     #[test]

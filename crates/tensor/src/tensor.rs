@@ -149,8 +149,29 @@ impl Tensor {
                 to: shape.to_vec(),
             });
         }
-        self.shape = shape.to_vec();
+        self.shape.clear();
+        self.shape.extend_from_slice(shape);
         Ok(())
+    }
+
+    /// Reshapes `self` to `shape` and zero-fills it, reusing the existing
+    /// buffers' capacity. This is the allocation-free reset used by the
+    /// SNN step workspace: after the first step no call allocates.
+    pub fn reset_shaped(&mut self, shape: &[usize]) {
+        self.shape.clear();
+        self.shape.extend_from_slice(shape);
+        let len = shape.iter().product();
+        self.data.clear();
+        self.data.resize(len, 0.0);
+    }
+
+    /// Makes `self` an exact copy of `src`, reusing the existing buffers'
+    /// capacity (unlike `Clone::clone`, which always allocates fresh ones).
+    pub fn copy_from(&mut self, src: &Tensor) {
+        self.shape.clear();
+        self.shape.extend_from_slice(&src.shape);
+        self.data.clear();
+        self.data.extend_from_slice(&src.data);
     }
 
     /// Copies rows `lo..hi` of the leading (batch) axis into a new tensor
@@ -716,6 +737,28 @@ mod tests {
     fn slice_batch_rejects_bad_range() {
         let t = Tensor::zeros(&[2, 3]);
         let _ = t.slice_batch(1, 3);
+    }
+
+    #[test]
+    fn reset_shaped_reuses_capacity() {
+        let mut t = Tensor::from_vec((0..24).map(|i| i as f32).collect(), &[4, 6]).unwrap();
+        let cap = t.data.capacity();
+        t.reset_shaped(&[2, 3, 4]);
+        assert_eq!(t.shape(), &[2, 3, 4]);
+        assert!(t.data().iter().all(|&x| x == 0.0));
+        assert_eq!(t.data.capacity(), cap);
+        // Shrinking then regrowing within the old capacity must not allocate.
+        t.reset_shaped(&[2]);
+        t.reset_shaped(&[4, 6]);
+        assert_eq!(t.data.capacity(), cap);
+    }
+
+    #[test]
+    fn copy_from_matches_clone() {
+        let src = Tensor::from_vec(vec![1.0, -2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]).unwrap();
+        let mut dst = Tensor::zeros(&[10]);
+        dst.copy_from(&src);
+        assert_eq!(dst, src);
     }
 
     #[test]

@@ -4,7 +4,19 @@ use proptest::prelude::*;
 use ull_tensor::conv::{col2im, conv2d, im2col, ConvGeometry};
 use ull_tensor::pool::{avgpool2d, maxpool2d};
 use ull_tensor::stats::{moments, percentile, percentile_table, Histogram};
-use ull_tensor::{matmul, matmul_transpose_a, matmul_transpose_b, parallel, Tensor};
+use ull_tensor::{
+    conv2d_events, matmul, matmul_transpose_a, matmul_transpose_b, parallel, SpikeBatch, Tensor,
+};
+
+/// Expands a draw of small integers into a uniform-amplitude spike
+/// tensor: roughly one element in five carries `amp`, the rest are zero.
+fn to_dense(mask: &[u8], amp: f32, shape: &[usize]) -> Tensor {
+    let vals: Vec<f32> = mask
+        .iter()
+        .map(|&v| if v < 2 { amp } else { 0.0 })
+        .collect();
+    Tensor::from_vec(vals, shape).unwrap()
+}
 
 fn tensor_strategy(max_len: usize) -> impl Strategy<Value = Vec<f32>> {
     proptest::collection::vec(-10.0f32..10.0, 1..max_len)
@@ -215,5 +227,77 @@ proptest! {
         let c2 = c1.clip(0.0, hi);
         prop_assert_eq!(&c1, &c2);
         prop_assert!(c1.data().iter().all(|&v| (0.0..=hi).contains(&v)));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn conv_events_match_dense_conv_bitwise(
+        mask in proptest::collection::vec(0u8..10, 150),
+        amp in 0.1f32..3.0,
+        w in proptest::collection::vec(-1.0f32..1.0, 108),
+        b in proptest::collection::vec(-0.5f32..0.5, 4),
+        stride in 1usize..3,
+        padding in 0usize..3,
+    ) {
+        // The event-driven kernel replays the im2col+GEMM accumulation
+        // order, so any geometry and any spike pattern must reproduce the
+        // dense result bit for bit, at every thread count.
+        let geo = ConvGeometry::square(3, stride, padding);
+        let x = to_dense(&mask, amp, &[2, 3, 5, 5]);
+        let w = Tensor::from_vec(w, &[4, 3, 3, 3]).unwrap();
+        let bias = Tensor::from_vec(b, &[4]).unwrap();
+        let ev = SpikeBatch::from_dense(&x).expect("uniform by construction");
+        let _guard = parallel::override_lock();
+        for threads in [1usize, 3] {
+            parallel::set_threads(threads);
+            let dense = conv2d(&x, &w, Some(&bias), geo);
+            let mut sparse = Tensor::default();
+            conv2d_events(&ev, &w, Some(&bias), geo, &mut sparse);
+            prop_assert_eq!(sparse.shape(), dense.shape());
+            for (s, d) in sparse.data().iter().zip(dense.data()) {
+                prop_assert_eq!(s.to_bits(), d.to_bits(), "threads {}", threads);
+            }
+        }
+        parallel::set_threads(0);
+    }
+
+    #[test]
+    fn matmul_events_match_dense_matmul_bitwise(
+        mask in proptest::collection::vec(0u8..10, 36),
+        amp in 0.1f32..3.0,
+        w in proptest::collection::vec(-1.0f32..1.0, 60),
+    ) {
+        let x = to_dense(&mask, amp, &[3, 12]);
+        let w = Tensor::from_vec(w, &[5, 12]).unwrap();
+        let ev = SpikeBatch::from_dense(&x).expect("uniform by construction");
+        let _guard = parallel::override_lock();
+        for threads in [1usize, 3] {
+            parallel::set_threads(threads);
+            let dense = matmul_transpose_b(&x, &w);
+            let mut sparse = Tensor::default();
+            ull_tensor::matmul_tb_events(&ev, &w, &mut sparse);
+            prop_assert_eq!(sparse.shape(), dense.shape());
+            for (s, d) in sparse.data().iter().zip(dense.data()) {
+                prop_assert_eq!(s.to_bits(), d.to_bits(), "threads {}", threads);
+            }
+        }
+        parallel::set_threads(0);
+    }
+
+    #[test]
+    fn spike_batch_round_trips_any_uniform_tensor(
+        mask in proptest::collection::vec(0u8..10, 36),
+        amp in 0.1f32..3.0,
+    ) {
+        let x = to_dense(&mask, amp, &[4, 9]);
+        let ev = SpikeBatch::from_dense(&x).expect("uniform by construction");
+        prop_assert_eq!(&ev.to_dense(), &x);
+        let nnz = mask.iter().filter(|&&v| v < 2).count();
+        prop_assert_eq!(ev.nnz(), nnz);
+        let density = nnz as f32 / mask.len() as f32;
+        prop_assert!((ev.density() - density).abs() < 1e-6);
     }
 }

@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Sparse-inference smoke test: the event-driven kernels must be
+# bit-identical to the dense path for any dispatch route and thread
+# count, and the sparse_forward acceptance gate must show the counted
+# work actually shrinking — executed accumulates (tensor.acs) at least
+# 2x below nominal dense MACs at <= 10 % mean spike rate, with the
+# BENCH_sparse.json artifact present and well-formed.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== event-kernel bit-identity (tensor) =="
+ULL_THREADS=1 cargo test -p ull-tensor -q
+ULL_THREADS=4 cargo test -p ull-tensor --test proptests -q
+
+echo "== dispatch equivalence and allocation gates (snn) =="
+ULL_THREADS=1 cargo test -p ull-snn --test sparse --test alloc_free -q
+ULL_THREADS=4 cargo test -p ull-snn --test sparse -q
+
+echo "== executed-vs-audited accumulate cross-check (energy) =="
+cargo test -p ull-energy --test acs_crosscheck -q
+
+echo "== sparse acceptance gate =="
+cargo build --release -p ull-bench --bin sparse_forward
+./target/release/sparse_forward --gate
+
+echo "== artifact check =="
+test -s BENCH_sparse.json
+grep -q '"executed_acs"' BENCH_sparse.json
+grep -q '"nominal_macs"' BENCH_sparse.json
+grep -q '"logits_bit_identical": true' BENCH_sparse.json
+
+echo "sparse smoke test passed"
