@@ -106,13 +106,79 @@ fn row_margins(logits: &Tensor) -> Vec<(usize, f32)> {
 ///
 /// Panics if `cfg.t_max == 0`.
 pub fn anytime_forward(snn: &SnnNetwork, x: &Tensor, cfg: &AnytimeConfig) -> AnytimeOutput {
+    anytime_forward_gated(snn, x, cfg.t_max, cfg.min_steps, |_| cfg.margin)
+}
+
+/// A per-timestep margin schedule: `margins[t - 1]` is the gate a sample's
+/// running-mean margin must clear to commit at step `t`.
+///
+/// A single global margin assumes every step's margins live on one scale.
+/// They do not: converted α/β networks need several steps to charge their
+/// membranes, so early steps carry few or no output spikes, and the
+/// running mean divides by `t`, shrinking early margins further. A global
+/// gate calibrated over all steps is dominated by last-step margins and
+/// idles on the steps where exiting actually saves work (the PR-4
+/// limitation). Per-step calibration gives each step a gate matched to
+/// its own margin distribution: degenerate steps (no output activity yet)
+/// get an infinite gate — never a bogus exit — while informative
+/// intermediate steps get a gate low enough to fire.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AnytimeSchedule {
+    /// Per-step gates, `margins[t - 1]` for step `t`; length = `t_max`.
+    /// `f32::INFINITY` disables early exit at that step.
+    pub margins: Vec<f32>,
+    /// Minimum steps before any sample may commit (≥ 1).
+    pub min_steps: usize,
+}
+
+impl AnytimeSchedule {
+    /// The deadline (`t_max`) this schedule was calibrated for.
+    pub fn t_max(&self) -> usize {
+        self.margins.len()
+    }
+
+    /// A uniform schedule equivalent to [`AnytimeConfig`] with `margin`.
+    pub fn uniform(t_max: usize, margin: f32) -> Self {
+        AnytimeSchedule {
+            margins: vec![margin; t_max],
+            min_steps: 1,
+        }
+    }
+}
+
+/// Runs deadline-aware inference with a per-step margin schedule.
+///
+/// # Panics
+///
+/// Panics if `schedule.margins` is empty.
+pub fn anytime_forward_scheduled(
+    snn: &SnnNetwork,
+    x: &Tensor,
+    schedule: &AnytimeSchedule,
+) -> AnytimeOutput {
+    anytime_forward_gated(snn, x, schedule.t_max(), schedule.min_steps, |t| {
+        schedule.margins[t - 1]
+    })
+}
+
+/// Shared body of [`anytime_forward`] and [`anytime_forward_scheduled`]:
+/// `gate_at(t)` supplies the margin a sample must clear at step `t`.
+fn anytime_forward_gated(
+    snn: &SnnNetwork,
+    x: &Tensor,
+    t_max: usize,
+    min_steps: usize,
+    gate_at: impl Fn(usize) -> f32,
+) -> AnytimeOutput {
     let _span = ull_obs::span("robust.anytime.forward");
+    assert!(t_max > 0, "need at least one time step");
     let batch = x.shape()[0];
     let mut predictions = vec![0usize; batch];
-    let mut steps_used = vec![cfg.t_max; batch];
+    let mut steps_used = vec![t_max; batch];
     let mut decided = vec![false; batch];
-    let min_steps = cfg.min_steps.max(1);
-    let (_, steps_simulated) = snn.forward_until(x, cfg.t_max, |t, mean| {
+    let min_steps = min_steps.max(1);
+    let (_, steps_simulated) = snn.forward_until(x, t_max, |t, mean| {
+        let gate = gate_at(t);
         let mut undecided = 0;
         for (r, (argmax, margin)) in row_margins(mean).into_iter().enumerate() {
             if decided[r] {
@@ -121,19 +187,19 @@ pub fn anytime_forward(snn: &SnnNetwork, x: &Tensor, cfg: &AnytimeConfig) -> Any
             // Track the running prediction so a sample that never clears
             // the gate ends with the full-deadline answer.
             predictions[r] = argmax;
-            if t >= min_steps && margin >= cfg.margin {
+            if t >= min_steps && margin >= gate {
                 decided[r] = true;
                 steps_used[r] = t;
             } else {
                 undecided += 1;
             }
         }
-        undecided > 0 && t < cfg.t_max
+        undecided > 0 && t < t_max
     });
     ull_obs::counter_add("robust.anytime.samples", batch as u64);
     ull_obs::counter_add(
         "robust.anytime.steps_saved",
-        steps_used.iter().map(|&s| (cfg.t_max - s) as u64).sum(),
+        steps_used.iter().map(|&s| (t_max - s) as u64).sum(),
     );
     AnytimeOutput {
         predictions,
@@ -163,23 +229,7 @@ pub fn calibrate_margin(
     target_agreement: f64,
 ) -> f32 {
     let _span = ull_obs::span("robust.anytime.calibrate");
-    assert!(t_max > 0, "need at least one time step");
-    // Per sample: (per-step (argmax, margin) for t = 1..=t_max, final argmax).
-    let mut traces: Vec<(Vec<(usize, f32)>, usize)> = Vec::new();
-    for batch in data.eval_batches(batch_size) {
-        let rows = batch.images.shape()[0];
-        let mut per_step: Vec<Vec<(usize, f32)>> = vec![Vec::with_capacity(t_max); rows];
-        let (out, _) = snn.forward_until(&batch.images, t_max, |_, mean| {
-            for (r, am) in row_margins(mean).into_iter().enumerate() {
-                per_step[r].push(am);
-            }
-            true
-        });
-        for (r, &final_pred) in out.logits.argmax_rows().iter().enumerate() {
-            traces.push((std::mem::take(&mut per_step[r]), final_pred));
-        }
-    }
-    assert!(!traces.is_empty(), "dataset has no evaluation batches");
+    let traces = collect_margin_traces(snn, data, t_max, batch_size);
 
     // Candidate gates: every margin observed at a step before the last —
     // gating exactly at an observed value makes that sample (and any with
@@ -214,6 +264,101 @@ pub fn calibrate_margin(
     }
     // Nothing met the target: disable early exit.
     candidates.last().map(|&m| m + 1.0).unwrap_or(f32::INFINITY)
+}
+
+/// Records, for every calibration sample, the per-step `(argmax, margin)`
+/// of the running-mean logits plus the full-`t_max` argmax.
+///
+/// # Panics
+///
+/// Panics if `t_max == 0` or `data` has no evaluation batches.
+fn collect_margin_traces(
+    snn: &SnnNetwork,
+    data: &Dataset,
+    t_max: usize,
+    batch_size: usize,
+) -> Vec<(Vec<(usize, f32)>, usize)> {
+    assert!(t_max > 0, "need at least one time step");
+    let mut traces: Vec<(Vec<(usize, f32)>, usize)> = Vec::new();
+    for batch in data.eval_batches(batch_size) {
+        let rows = batch.images.shape()[0];
+        let mut per_step: Vec<Vec<(usize, f32)>> = vec![Vec::with_capacity(t_max); rows];
+        let (out, _) = snn.forward_until(&batch.images, t_max, |_, mean| {
+            for (r, am) in row_margins(mean).into_iter().enumerate() {
+                per_step[r].push(am);
+            }
+            true
+        });
+        for (r, &final_pred) in out.logits.argmax_rows().iter().enumerate() {
+            traces.push((std::mem::take(&mut per_step[r]), final_pred));
+        }
+    }
+    assert!(!traces.is_empty(), "dataset has no evaluation batches");
+    traces
+}
+
+/// Calibrates a per-step margin schedule (see [`AnytimeSchedule`]).
+///
+/// For each step `t < t_max` the gate is the smallest margin observed at
+/// that step such that, among the calibration samples whose step-`t`
+/// margin clears it, the step-`t` argmax agrees with the full-deadline
+/// argmax on at least `target_agreement` of them. Steps where no gate
+/// meets the target — in particular steps where a converted network has
+/// produced no output spikes yet, so every margin is a degenerate zero —
+/// get `f32::INFINITY`: no sample exits there. The final step's gate is
+/// `0.0` (the deadline commits every remaining sample regardless).
+///
+/// # Panics
+///
+/// Panics if `t_max == 0` or `data` has no evaluation batches.
+pub fn calibrate_margin_schedule(
+    snn: &SnnNetwork,
+    data: &Dataset,
+    t_max: usize,
+    batch_size: usize,
+    target_agreement: f64,
+) -> AnytimeSchedule {
+    let _span = ull_obs::span("robust.anytime.calibrate_schedule");
+    let traces = collect_margin_traces(snn, data, t_max, batch_size);
+    let mut margins = Vec::with_capacity(t_max);
+    for step in 0..t_max.saturating_sub(1) {
+        // Only strictly positive margins are meaningful gates: a zero
+        // margin means the output layer has produced no discriminative
+        // signal yet (e.g. no output spikes), so its argmax is a tie-break
+        // artefact — never a reason to exit, even when it happens to agree
+        // with the final answer on calibration data.
+        let mut candidates: Vec<f32> = traces
+            .iter()
+            .map(|(steps, _)| steps[step].1)
+            .filter(|m| m.is_finite() && *m > 0.0)
+            .collect();
+        candidates.sort_by(f32::total_cmp);
+        candidates.dedup();
+        let mut chosen = f32::INFINITY;
+        for &gate in &candidates {
+            let mut cleared = 0usize;
+            let mut agreed = 0usize;
+            for (steps, final_pred) in &traces {
+                let (argmax, margin) = steps[step];
+                if margin >= gate {
+                    cleared += 1;
+                    if argmax == *final_pred {
+                        agreed += 1;
+                    }
+                }
+            }
+            if cleared > 0 && agreed as f64 / cleared as f64 >= target_agreement {
+                chosen = gate;
+                break;
+            }
+        }
+        margins.push(chosen);
+    }
+    margins.push(0.0);
+    AnytimeSchedule {
+        margins,
+        min_steps: 1,
+    }
 }
 
 #[cfg(test)]
@@ -301,6 +446,73 @@ mod tests {
             (full_acc - anytime_acc).abs() <= 0.01 + f32::EPSILON,
             "anytime accuracy {anytime_acc:.4} drifted more than 1 pt from full-T {full_acc:.4}"
         );
+    }
+
+    #[test]
+    fn uniform_schedule_matches_global_margin() {
+        let (snn, data) = setup();
+        let batch = data.eval_batches(16).next().unwrap();
+        let cfg = AnytimeConfig::new(4, 0.05);
+        let schedule = AnytimeSchedule::uniform(4, 0.05);
+        assert_eq!(
+            anytime_forward(&snn, &batch.images, &cfg),
+            anytime_forward_scheduled(&snn, &batch.images, &schedule),
+        );
+    }
+
+    #[test]
+    fn calibrated_schedule_saves_steps_on_identity_nets() {
+        let (snn, data) = setup();
+        let t_max = 5;
+        let schedule = calibrate_margin_schedule(&snn, &data, t_max, 16, 0.98);
+        assert_eq!(schedule.t_max(), t_max);
+        let (full_acc, _) = evaluate_snn(&snn, &data, t_max, 16);
+        let mut correct = 0usize;
+        let mut seen = 0usize;
+        let mut total_steps = 0usize;
+        for batch in data.eval_batches(16) {
+            let out = anytime_forward_scheduled(&snn, &batch.images, &schedule);
+            for (pred, &label) in out.predictions.iter().zip(&batch.labels) {
+                if *pred == label {
+                    correct += 1;
+                }
+            }
+            total_steps += out.steps_used.iter().sum::<usize>();
+            seen += batch.labels.len();
+        }
+        let acc = correct as f32 / seen as f32;
+        let mean_steps = total_steps as f64 / seen as f64;
+        assert!(
+            mean_steps < t_max as f64,
+            "schedule saved no steps (mean {mean_steps:.2} of {t_max})"
+        );
+        assert!(
+            (full_acc - acc).abs() <= 0.01 + f32::EPSILON,
+            "scheduled accuracy {acc:.4} drifted more than 1 pt from full-T {full_acc:.4}"
+        );
+    }
+
+    #[test]
+    fn degenerate_early_steps_get_infinite_gates() {
+        // Thresholds far above what one step of input can charge: no
+        // spikes reach the output before several steps, so every step-1
+        // margin is a degenerate zero. The schedule must disable exit
+        // there rather than committing to garbage argmaxes.
+        let cfg = SynthCifarConfig::tiny(3);
+        let (_, test) = generate(&cfg);
+        let dnn = models::vgg_micro(3, cfg.image_size, 0.25, 31);
+        let specs = vec![SpikeSpec::identity(50.0); dnn.threshold_nodes().len()];
+        let snn = SnnNetwork::from_network(&dnn, &specs).unwrap();
+        let schedule = calibrate_margin_schedule(&snn, &test, 4, 16, 0.95);
+        assert!(
+            schedule.margins[0].is_infinite(),
+            "silent first step must have an infinite gate, got {:?}",
+            schedule.margins
+        );
+        // And no sample may exit at a disabled step.
+        let batch = test.eval_batches(16).next().unwrap();
+        let out = anytime_forward_scheduled(&snn, &batch.images, &schedule);
+        assert!(out.steps_used.iter().all(|&s| s > 1));
     }
 
     #[test]

@@ -57,7 +57,10 @@ pub mod faults;
 pub mod sweep;
 pub mod watchdog;
 
-pub use anytime::{anytime_forward, calibrate_margin, AnytimeConfig, AnytimeOutput};
+pub use anytime::{
+    anytime_forward, anytime_forward_scheduled, calibrate_margin, calibrate_margin_schedule,
+    AnytimeConfig, AnytimeOutput, AnytimeSchedule,
+};
 pub use faults::{
     evaluate_faulted, flip_dnn_weight_bits, FaultConfig, FaultedNetwork, InferenceFault,
 };

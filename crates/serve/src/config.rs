@@ -1,0 +1,167 @@
+//! Serving configuration.
+//!
+//! All durations are plain millisecond integers so the config itself is
+//! serde-able and diffable in reports; the server converts to
+//! [`std::time::Duration`] internally.
+
+use serde::{Deserialize, Serialize};
+
+/// Tunables for the admission queue, batcher, degradation ladder,
+/// circuit breaker and drain behaviour.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServeConfig {
+    /// Per-sample input shape (no batch dimension), e.g. `[3, 8, 8]`.
+    /// Requests with any other shape get a typed `BadRequest`.
+    pub input_shape: Vec<usize>,
+    /// Time steps for the full-quality rung.
+    pub t_full: usize,
+    /// Time steps for the reduced rung (the paper's latency dial: fewer
+    /// steps, slightly lower accuracy, proportionally lower cost).
+    pub t_reduced: usize,
+    /// Worker threads pulling batches off the queue.
+    pub workers: usize,
+    /// Bounded admission-queue capacity; a full queue sheds with a typed
+    /// `Overloaded` reply instead of queueing unboundedly.
+    pub queue_capacity: usize,
+    /// Largest batch a worker assembles before executing.
+    pub max_batch: usize,
+    /// How long a worker lingers for more requests once it holds at
+    /// least one, in milliseconds.
+    pub max_linger_ms: u64,
+    /// Deadline applied to requests that do not carry their own.
+    pub default_deadline_ms: u64,
+    /// Estimated wall-clock cost of a full-T batch, used by the ladder
+    /// to decide whether a batch's tightest deadline still fits.
+    pub est_full_ms: u64,
+    /// Estimated wall-clock cost of a reduced-T batch.
+    pub est_reduced_ms: u64,
+    /// Queue depth at or above which the ladder drops from `Full` to
+    /// `Anytime`.
+    pub anytime_depth: usize,
+    /// Queue depth at or above which the ladder drops to `Reduced`.
+    pub reduced_depth: usize,
+    /// Consecutive watchdog excursions before a replica's breaker trips.
+    pub breaker_threshold: usize,
+    /// Base quarantine duration for a tripped breaker, in milliseconds;
+    /// doubles (with jitter) on every failed half-open probe.
+    pub backoff_base_ms: u64,
+    /// Upper bound on the quarantine duration, in milliseconds.
+    pub backoff_max_ms: u64,
+    /// Seed for the deterministic backoff jitter.
+    pub backoff_seed: u64,
+    /// Test seam: artificial per-batch execution delay in milliseconds,
+    /// used by the soak/smoke harnesses to force queue build-up
+    /// deterministically. Zero in production.
+    pub chaos_execute_delay_ms: u64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            input_shape: vec![3, 8, 8],
+            t_full: 5,
+            t_reduced: 2,
+            workers: 2,
+            queue_capacity: 64,
+            max_batch: 16,
+            max_linger_ms: 2,
+            default_deadline_ms: 1_000,
+            est_full_ms: 50,
+            est_reduced_ms: 20,
+            anytime_depth: 16,
+            reduced_depth: 32,
+            breaker_threshold: 3,
+            backoff_base_ms: 100,
+            backoff_max_ms: 10_000,
+            backoff_seed: 0x5e12_7e00,
+            chaos_execute_delay_ms: 0,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Validates internal consistency, returning every problem found.
+    pub fn validate(&self) -> Result<(), String> {
+        let mut problems = Vec::new();
+        if self.input_shape.is_empty() || self.input_shape.iter().product::<usize>() == 0 {
+            problems.push("input_shape must be non-empty with non-zero volume".to_string());
+        }
+        if self.t_full == 0 {
+            problems.push("t_full must be at least 1".to_string());
+        }
+        if self.t_reduced == 0 || self.t_reduced > self.t_full {
+            problems.push(format!(
+                "t_reduced must be in 1..=t_full, got {} (t_full {})",
+                self.t_reduced, self.t_full
+            ));
+        }
+        if self.workers == 0 {
+            problems.push("workers must be at least 1".to_string());
+        }
+        if self.queue_capacity == 0 {
+            problems.push("queue_capacity must be at least 1".to_string());
+        }
+        if self.max_batch == 0 {
+            problems.push("max_batch must be at least 1".to_string());
+        }
+        if self.anytime_depth > self.reduced_depth {
+            problems.push(format!(
+                "ladder thresholds must be ordered: anytime_depth {} > reduced_depth {}",
+                self.anytime_depth, self.reduced_depth
+            ));
+        }
+        if self.breaker_threshold == 0 {
+            problems.push("breaker_threshold must be at least 1".to_string());
+        }
+        if self.backoff_base_ms == 0 || self.backoff_max_ms < self.backoff_base_ms {
+            problems.push(format!(
+                "backoff must satisfy 0 < base <= max, got base {} max {}",
+                self.backoff_base_ms, self.backoff_max_ms
+            ));
+        }
+        if problems.is_empty() {
+            Ok(())
+        } else {
+            Err(problems.join("; "))
+        }
+    }
+
+    /// Number of f32 elements one sample must carry.
+    pub fn sample_volume(&self) -> usize {
+        self.input_shape.iter().product()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_validates() {
+        ServeConfig::default().validate().unwrap();
+    }
+
+    #[test]
+    fn bad_configs_are_rejected_with_every_problem_listed() {
+        let cfg = ServeConfig {
+            t_reduced: 9,
+            workers: 0,
+            anytime_depth: 50,
+            reduced_depth: 10,
+            backoff_base_ms: 0,
+            ..ServeConfig::default()
+        };
+        let err = cfg.validate().unwrap_err();
+        for needle in ["t_reduced", "workers", "ladder thresholds", "backoff"] {
+            assert!(err.contains(needle), "missing `{needle}` in: {err}");
+        }
+    }
+
+    #[test]
+    fn config_round_trips_through_json() {
+        let cfg = ServeConfig::default();
+        let json = serde_json::to_string(&cfg).unwrap();
+        let back: ServeConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(cfg, back);
+    }
+}

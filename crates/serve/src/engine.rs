@@ -1,0 +1,437 @@
+//! The execution engine: replicas, watchdog checks, circuit breaking,
+//! failover and the chaos seams the soak harness drives.
+//!
+//! The engine owns N read-only [`SnnNetwork`] replicas (replica 0 is
+//! primary; later replicas are fallbacks, ordered by preference) plus a
+//! [`CircuitBreaker`] per replica. One call to [`Engine::execute`] runs
+//! one batch at one ladder rung:
+//!
+//! 1. route to the first replica whose breaker admits traffic (if every
+//!    breaker is open, the last replica serves as a degraded last
+//!    resort — availability over quarantine);
+//! 2. run the rung (`Full` / `Reduced` are fixed-T forwards, `Anytime`
+//!    is an early-exit loop behind the calibrated margin schedule);
+//! 3. for fixed-T rungs, check the per-layer spike-rate envelope
+//!    profiled for *that* T (the watchdog rejects cross-T comparisons
+//!    by design, and the `Anytime` rung is skipped because its step
+//!    count is data-dependent);
+//! 4. feed the verdict to the replica's breaker, and on an excursion
+//!    retry the batch once on the next healthy replica so the client
+//!    sees the fallback's answer, not the corrupted one.
+//!
+//! Chaos seams — an injectable per-replica panic budget and a fixed
+//! per-batch execution delay — let the soak and smoke harnesses force
+//! worker panics and queue build-up deterministically. Both are inert
+//! (and the delay is zero) unless explicitly armed.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, RwLock};
+use std::time::Instant;
+
+use serde::{Deserialize, Serialize};
+use ull_robust::{AnytimeSchedule, RateEnvelope};
+use ull_snn::SnnNetwork;
+use ull_tensor::Tensor;
+
+use crate::breaker::{BreakerState, CircuitBreaker};
+use crate::config::ServeConfig;
+use crate::protocol::RungLabel;
+
+/// One replica: a network plus the activity envelopes profiled at the
+/// two fixed-T rungs. Envelopes are optional — a replica without them
+/// is simply never watchdogged (and so never trips its breaker).
+pub struct ReplicaSpec {
+    /// Display name used in events and reports.
+    pub name: String,
+    /// The network this replica serves.
+    pub net: SnnNetwork,
+    /// Spike-rate envelope profiled at `t_full` steps.
+    pub envelope_full: Option<RateEnvelope>,
+    /// Spike-rate envelope profiled at `t_reduced` steps.
+    pub envelope_reduced: Option<RateEnvelope>,
+}
+
+/// Result of one executed batch.
+#[derive(Debug, Clone)]
+pub struct BatchResult {
+    /// Running-mean logits, `[batch, classes]`, frozen per row at its
+    /// decision step on the `Anytime` rung.
+    pub logits: Tensor,
+    /// Per-row time steps actually used.
+    pub steps: Vec<usize>,
+    /// Rung the batch was served at.
+    pub rung: RungLabel,
+    /// Index of the replica whose answer is returned.
+    pub replica: usize,
+    /// Watchdog verdict for the returned answer (`true` when the rung
+    /// is not watchdogged).
+    pub healthy: bool,
+    /// Whether the batch was re-run on a fallback after an excursion.
+    pub retried_on_fallback: bool,
+}
+
+/// One entry in the engine's event log — the soak harness turns these
+/// into the failover timeline.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ServeEvent {
+    /// Monotone batch sequence number.
+    pub seq: u64,
+    /// Milliseconds since the engine was built.
+    pub at_ms: u64,
+    /// Rung the batch ran at.
+    pub rung: RungLabel,
+    /// Replica that produced the returned answer.
+    pub replica: usize,
+    /// Watchdog verdict of the returned answer.
+    pub healthy: bool,
+    /// Whether a fallback retry produced the returned answer.
+    pub retried: bool,
+    /// Breaker state of every replica *after* this batch.
+    pub breaker_states: Vec<BreakerState>,
+}
+
+/// Internal replica slot: the network sits behind an `RwLock` so the
+/// soak harness can corrupt it mid-run ([`Engine::chaos_swap_net`])
+/// while workers keep serving.
+struct ReplicaSlot {
+    name: String,
+    net: RwLock<SnnNetwork>,
+    envelope_full: Option<RateEnvelope>,
+    envelope_reduced: Option<RateEnvelope>,
+}
+
+/// Replica pool + breakers + chaos seams. Shared across worker threads
+/// behind an `Arc`; all interior mutability is lock-scoped per batch.
+pub struct Engine {
+    cfg: ServeConfig,
+    replicas: Vec<ReplicaSlot>,
+    breakers: Vec<Mutex<CircuitBreaker>>,
+    schedule: Option<AnytimeSchedule>,
+    panic_budget: Vec<AtomicU64>,
+    seq: AtomicU64,
+    events: Mutex<Vec<ServeEvent>>,
+    started: Instant,
+}
+
+impl Engine {
+    /// Builds an engine over an ordered replica pool.
+    ///
+    /// `schedule` powers the `Anytime` rung; without one, that rung
+    /// falls back to a plain full-T forward (no early exit).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `replicas` is empty or the config fails validation —
+    /// both are operator errors, not request-path conditions.
+    pub fn new(
+        cfg: ServeConfig,
+        replicas: Vec<ReplicaSpec>,
+        schedule: Option<AnytimeSchedule>,
+    ) -> Self {
+        assert!(!replicas.is_empty(), "engine needs at least one replica");
+        cfg.validate().expect("invalid ServeConfig");
+        let breakers = replicas
+            .iter()
+            .map(|_| {
+                Mutex::new(CircuitBreaker::new(
+                    cfg.breaker_threshold,
+                    cfg.backoff_base_ms,
+                    cfg.backoff_max_ms,
+                    cfg.backoff_seed,
+                ))
+            })
+            .collect();
+        let panic_budget = replicas.iter().map(|_| AtomicU64::new(0)).collect();
+        let slots = replicas
+            .into_iter()
+            .map(|r| ReplicaSlot {
+                name: r.name,
+                net: RwLock::new(r.net),
+                envelope_full: r.envelope_full,
+                envelope_reduced: r.envelope_reduced,
+            })
+            .collect();
+        Engine {
+            cfg,
+            replicas: slots,
+            breakers,
+            schedule,
+            panic_budget,
+            seq: AtomicU64::new(0),
+            events: Mutex::new(Vec::new()),
+            started: Instant::now(),
+        }
+    }
+
+    /// The serving configuration.
+    pub fn config(&self) -> &ServeConfig {
+        &self.cfg
+    }
+
+    /// Milliseconds since the engine was built (the breaker clock).
+    pub fn now_ms(&self) -> u64 {
+        self.started.elapsed().as_millis() as u64
+    }
+
+    /// Current breaker state per replica.
+    pub fn breaker_states(&self) -> Vec<BreakerState> {
+        self.breakers
+            .iter()
+            .map(|b| lock_breaker(b).state())
+            .collect()
+    }
+
+    /// Lifetime breaker trips summed over replicas.
+    pub fn breaker_trips(&self) -> u64 {
+        self.breakers.iter().map(|b| lock_breaker(b).trips()).sum()
+    }
+
+    /// Replica names, in routing-preference order.
+    pub fn replica_names(&self) -> Vec<String> {
+        self.replicas.iter().map(|r| r.name.clone()).collect()
+    }
+
+    /// Drains the event log (the soak harness calls this once at the
+    /// end; incremental callers get only the events since last drain).
+    pub fn take_events(&self) -> Vec<ServeEvent> {
+        std::mem::take(&mut *self.events.lock().unwrap_or_else(|e| e.into_inner()))
+    }
+
+    /// Chaos seam: arm `count` injected panics on `replica`. Each of
+    /// that replica's next `count` executions panics with a recognizable
+    /// message; the budget then self-disarms.
+    pub fn inject_panics(&self, replica: usize, count: u64) {
+        self.panic_budget[replica].fetch_add(count, Ordering::SeqCst);
+    }
+
+    /// Chaos seam: atomically replace a replica's network while the
+    /// server keeps running — the soak harness's "hardware goes bad
+    /// mid-run" event. In-flight batches finish on whichever network
+    /// they read first; later batches see the replacement.
+    pub fn chaos_swap_net(&self, replica: usize, net: SnnNetwork) {
+        *self.replicas[replica]
+            .net
+            .write()
+            .unwrap_or_else(|e| e.into_inner()) = net;
+    }
+
+    /// Executes one batch at `rung`, with watchdog + breaker + failover.
+    pub fn execute(&self, x: &Tensor, rung: RungLabel) -> BatchResult {
+        let _span = ull_obs::span("serve.batch");
+        let seq = self.seq.fetch_add(1, Ordering::SeqCst);
+        if self.cfg.chaos_execute_delay_ms > 0 {
+            std::thread::sleep(std::time::Duration::from_millis(
+                self.cfg.chaos_execute_delay_ms,
+            ));
+        }
+
+        let now = self.now_ms();
+        let primary = self.route(now);
+        let (logits, steps, healthy) = self.run_on(primary, x, rung);
+        lock_breaker(&self.breakers[primary]).record(healthy, self.now_ms());
+
+        let mut result = BatchResult {
+            logits,
+            steps,
+            rung,
+            replica: primary,
+            healthy,
+            retried_on_fallback: false,
+        };
+        if !healthy {
+            if let Some(fb) = self.fallback_after(primary) {
+                ull_obs::counter_add("serve.retried", 1);
+                let (logits, steps, fb_healthy) = self.run_on(fb, x, rung);
+                lock_breaker(&self.breakers[fb]).record(fb_healthy, self.now_ms());
+                result = BatchResult {
+                    logits,
+                    steps,
+                    rung,
+                    replica: fb,
+                    healthy: fb_healthy,
+                    retried_on_fallback: true,
+                };
+            }
+        }
+
+        ull_obs::counter_add(rung_counter(rung), 1);
+        let event = ServeEvent {
+            seq,
+            at_ms: self.now_ms(),
+            rung,
+            replica: result.replica,
+            healthy: result.healthy,
+            retried: result.retried_on_fallback,
+            breaker_states: self.breaker_states(),
+        };
+        self.events
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(event);
+        result
+    }
+
+    /// First replica whose breaker admits traffic; the last replica is
+    /// the unconditional last resort when every breaker is open.
+    fn route(&self, now_ms: u64) -> usize {
+        for (i, b) in self.breakers.iter().enumerate() {
+            if lock_breaker(b).allow(now_ms) {
+                return i;
+            }
+        }
+        self.replicas.len() - 1
+    }
+
+    /// Next replica after `primary` (by preference order, wrapping)
+    /// whose breaker admits traffic right now.
+    fn fallback_after(&self, primary: usize) -> Option<usize> {
+        let n = self.replicas.len();
+        let now = self.now_ms();
+        (1..n)
+            .map(|off| (primary + off) % n)
+            .find(|&i| lock_breaker(&self.breakers[i]).allow(now))
+    }
+
+    /// Runs the rung on one replica. Returns `(logits, per-row steps,
+    /// watchdog verdict)`.
+    fn run_on(&self, replica: usize, x: &Tensor, rung: RungLabel) -> (Tensor, Vec<usize>, bool) {
+        self.maybe_panic(replica);
+        let slot = &self.replicas[replica];
+        let net = slot.net.read().unwrap_or_else(|e| e.into_inner());
+        let batch = x.shape()[0];
+        match rung {
+            RungLabel::Full => {
+                let out = net.forward(x, self.cfg.t_full);
+                let healthy = match &slot.envelope_full {
+                    Some(env) => env.check(&out.stats.report()).is_empty(),
+                    None => true,
+                };
+                (out.logits, vec![self.cfg.t_full; batch], healthy)
+            }
+            RungLabel::Reduced => {
+                let out = net.forward(x, self.cfg.t_reduced);
+                let healthy = match &slot.envelope_reduced {
+                    Some(env) => env.check(&out.stats.report()).is_empty(),
+                    None => true,
+                };
+                (out.logits, vec![self.cfg.t_reduced; batch], healthy)
+            }
+            RungLabel::Anytime => {
+                // Step counts are data-dependent here, so the fixed-T
+                // envelopes do not apply: the rung is served unwatched
+                // and always reports healthy. Sustained corruption is
+                // still caught by the next fixed-T batch.
+                let (logits, steps) =
+                    anytime_batch(&net, x, self.schedule.as_ref(), self.cfg.t_full);
+                (logits, steps, true)
+            }
+        }
+    }
+
+    /// Chaos seam: burn one unit of the replica's panic budget, if any.
+    fn maybe_panic(&self, replica: usize) {
+        let armed = self.panic_budget[replica]
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |v| v.checked_sub(1))
+            .is_ok();
+        if armed {
+            panic!("ull-serve: injected replica panic (chaos seam)");
+        }
+    }
+}
+
+fn rung_counter(rung: RungLabel) -> &'static str {
+    match rung {
+        RungLabel::Full => "serve.rung.full",
+        RungLabel::Anytime => "serve.rung.anytime",
+        RungLabel::Reduced => "serve.rung.reduced",
+    }
+}
+
+fn lock_breaker(m: &Mutex<CircuitBreaker>) -> std::sync::MutexGuard<'_, CircuitBreaker> {
+    // A worker that panicked mid-batch (chaos seam) may poison a breaker
+    // lock; the breaker itself is always in a consistent state, so the
+    // poison flag is safely ignored.
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Early-exit batch forward: freeze each row's running-mean logits the
+/// first step its top-1/top-2 margin clears the schedule's gate for
+/// that step; stop simulating once every row is frozen.
+///
+/// Without a schedule this degrades to a plain `t_max` forward.
+fn anytime_batch(
+    net: &SnnNetwork,
+    x: &Tensor,
+    schedule: Option<&AnytimeSchedule>,
+    t_max: usize,
+) -> (Tensor, Vec<usize>) {
+    let Some(schedule) = schedule else {
+        let out = net.forward(x, t_max);
+        let batch = x.shape()[0];
+        return (out.logits, vec![t_max; batch]);
+    };
+    let t_max = schedule.t_max().min(t_max).max(1);
+    let batch = x.shape()[0];
+    let mut frozen_logits: Option<Tensor> = None;
+    let mut steps_used = vec![t_max; batch];
+    let mut frozen = vec![false; batch];
+    let mut remaining = batch;
+    let (_, _steps) = net.forward_until(x, t_max, |t, mean| {
+        let frozen_view = frozen_logits.get_or_insert_with(|| mean.clone());
+        let gate = schedule.margins[t - 1];
+        let classes = mean.shape()[1];
+        for r in 0..batch {
+            if frozen[r] {
+                continue;
+            }
+            let row = &mean.data()[r * classes..(r + 1) * classes];
+            let commit = if t == t_max {
+                true
+            } else if t >= schedule.min_steps {
+                top_margin(row) >= gate
+            } else {
+                false
+            };
+            if commit {
+                frozen[r] = true;
+                steps_used[r] = t;
+                frozen_view.data_mut()[r * classes..(r + 1) * classes].copy_from_slice(row);
+                remaining -= 1;
+            }
+        }
+        remaining > 0
+    });
+    let logits = frozen_logits.unwrap_or_else(|| net.forward(x, t_max).logits);
+    (logits, steps_used)
+}
+
+/// Top-1 minus top-2 of one logit row (0 for degenerate rows).
+fn top_margin(row: &[f32]) -> f32 {
+    let mut best = f32::NEG_INFINITY;
+    let mut second = f32::NEG_INFINITY;
+    for &v in row {
+        if v > best {
+            second = best;
+            best = v;
+        } else if v > second {
+            second = v;
+        }
+    }
+    if second.is_finite() {
+        best - second
+    } else {
+        0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn top_margin_handles_degenerate_rows() {
+        assert_eq!(top_margin(&[1.0, 3.0, 2.0]), 1.0);
+        assert_eq!(top_margin(&[0.0, 0.0, 0.0]), 0.0);
+        assert_eq!(top_margin(&[5.0]), 0.0);
+    }
+}

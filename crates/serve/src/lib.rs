@@ -1,0 +1,48 @@
+//! Hardened inference serving for ultra low-latency SNNs.
+//!
+//! The paper's T≤5 networks are fast enough to serve interactively, and
+//! their step count is a *quality dial*: fewer steps cost accuracy but
+//! buy latency (§V). This crate turns that dial into a serving policy —
+//! a dependency-free (std-only) multi-worker service with:
+//!
+//! * a **bounded admission queue** and **dynamic batcher** (max batch /
+//!   max linger) with per-request deadline propagation ([`server`]);
+//! * a **degradation ladder** ([`ladder`]) choosing, per batch, between
+//!   a full-T forward, calibrated anytime early exit, a reduced-T
+//!   forward, or typed load-shedding — driven by queue depth and the
+//!   batch's tightest remaining deadline;
+//! * a **watchdog-driven circuit breaker** ([`breaker`], [`engine`]):
+//!   every fixed-T batch is checked against the replica's profiled
+//!   spike-rate envelope, consecutive excursions quarantine the replica
+//!   behind jittered exponential backoff, and traffic fails over to a
+//!   fallback replica;
+//! * **retry/timeout isolation**: worker panics are caught, poisoned
+//!   batches retried once at reduced size, survivors get typed errors;
+//!   expired requests get typed `DeadlineExceeded` without touching a
+//!   replica;
+//! * **graceful drain**: shutdown stops admissions, flushes the queue,
+//!   and fsyncs a final [`ull_obs::MetricsSnapshot`];
+//! * a length-prefixed JSON **wire protocol** ([`protocol`]) served
+//!   over `std::net` TCP, plus an in-process [`Client`] for tests.
+//!
+//! Everything is instrumented through `ull-obs` (`serve.*` counters,
+//! queue-depth gauge, per-rung counters, batch spans).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod breaker;
+pub mod config;
+pub mod engine;
+pub mod ladder;
+pub mod protocol;
+pub mod server;
+
+pub use breaker::{BreakerState, CircuitBreaker};
+pub use config::ServeConfig;
+pub use engine::{BatchResult, Engine, ReplicaSpec, ServeEvent};
+pub use ladder::choose_rung;
+pub use protocol::{
+    read_frame, write_frame, write_reply, FrameError, Reply, Request, RungLabel, MAX_FRAME_LEN,
+};
+pub use server::{Client, Server};

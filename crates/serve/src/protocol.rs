@@ -1,0 +1,258 @@
+//! Wire protocol: length-prefixed JSON frames and typed request/reply
+//! messages.
+//!
+//! Every frame is a 4-byte big-endian length followed by that many bytes
+//! of UTF-8 JSON. The length prefix is capped at [`MAX_FRAME_LEN`] so a
+//! corrupt or hostile peer cannot make the server allocate unbounded
+//! memory; an oversized prefix is rejected *before* any payload is read.
+//!
+//! Malformed input at any layer — bad framing, invalid JSON, wrong
+//! tensor shape, non-finite pixels — produces a typed [`Reply`] variant,
+//! never a panic: the serving layer's contract is that only the process
+//! owner (via config bugs) can crash it, not a client.
+
+use std::io::{Read, Write};
+
+use serde::{Deserialize, Serialize};
+
+/// Upper bound on a frame's payload length in bytes.
+///
+/// Large enough for a few hundred 32×32×3 images per request, small
+/// enough that a garbage length prefix (e.g. ASCII read as big-endian)
+/// is rejected instead of triggering a gigabyte allocation.
+pub const MAX_FRAME_LEN: u32 = 8 << 20;
+
+/// One inference request.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Request {
+    /// Client-chosen correlation id, echoed verbatim in the reply.
+    pub id: u64,
+    /// Flattened input pixels for a single sample.
+    pub pixels: Vec<f32>,
+    /// Per-sample shape (no batch dimension), e.g. `[3, 8, 8]`.
+    pub shape: Vec<usize>,
+    /// Time budget in milliseconds from admission to reply. `None` uses
+    /// the server's default; `Some(0)` is an already-expired deadline and
+    /// deterministically yields [`Reply::DeadlineExceeded`].
+    #[serde(default)]
+    pub deadline_ms: Option<u64>,
+}
+
+/// The degradation rung a batch was served at, echoed to clients so they
+/// can observe quality degradation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RungLabel {
+    /// Full-T forward.
+    Full,
+    /// Anytime early exit behind the calibrated margin schedule.
+    Anytime,
+    /// Reduced-T forward.
+    Reduced,
+}
+
+/// One typed reply. Exactly one reply is produced per admitted frame —
+/// the server never drops a request silently.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Reply {
+    /// Successful inference.
+    Prediction {
+        /// Echo of [`Request::id`].
+        id: u64,
+        /// Argmax class.
+        class: usize,
+        /// Running-mean output logits.
+        logits: Vec<f32>,
+        /// Ladder rung the batch was served at.
+        rung: RungLabel,
+        /// Time steps actually simulated for this sample.
+        steps: usize,
+    },
+    /// Admission queue was full; request was shed without inference.
+    Overloaded {
+        /// Echo of [`Request::id`].
+        id: u64,
+    },
+    /// Deadline expired before the request reached a worker.
+    DeadlineExceeded {
+        /// Echo of [`Request::id`].
+        id: u64,
+    },
+    /// The request was structurally invalid (shape, pixels, framing).
+    BadRequest {
+        /// Echo of [`Request::id`] (0 when the frame never parsed).
+        id: u64,
+        /// Human-readable rejection reason.
+        reason: String,
+    },
+    /// Inference failed after retries (e.g. repeated worker panics).
+    Error {
+        /// Echo of [`Request::id`].
+        id: u64,
+        /// Human-readable failure reason.
+        reason: String,
+    },
+}
+
+impl Reply {
+    /// The correlation id carried by any variant.
+    pub fn id(&self) -> u64 {
+        match self {
+            Reply::Prediction { id, .. }
+            | Reply::Overloaded { id }
+            | Reply::DeadlineExceeded { id }
+            | Reply::BadRequest { id, .. }
+            | Reply::Error { id, .. } => *id,
+        }
+    }
+
+    /// Whether this is a successful prediction.
+    pub fn is_prediction(&self) -> bool {
+        matches!(self, Reply::Prediction { .. })
+    }
+}
+
+/// Why a frame could not be read.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameError {
+    /// The peer closed the connection cleanly before a length prefix.
+    Closed,
+    /// The declared length exceeds [`MAX_FRAME_LEN`].
+    Oversized(u32),
+    /// An I/O error or a truncated frame.
+    Io(String),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Closed => write!(f, "connection closed"),
+            FrameError::Oversized(n) => {
+                write!(
+                    f,
+                    "frame of {n} bytes exceeds the {MAX_FRAME_LEN}-byte limit"
+                )
+            }
+            FrameError::Io(e) => write!(f, "frame i/o error: {e}"),
+        }
+    }
+}
+
+/// Reads one length-prefixed frame. The payload is only allocated after
+/// the length prefix passes the [`MAX_FRAME_LEN`] check.
+pub fn read_frame(reader: &mut impl Read) -> Result<Vec<u8>, FrameError> {
+    let mut len_buf = [0u8; 4];
+    let mut filled = 0;
+    while filled < 4 {
+        match reader.read(&mut len_buf[filled..]) {
+            Ok(0) if filled == 0 => return Err(FrameError::Closed),
+            Ok(0) => return Err(FrameError::Io("truncated length prefix".into())),
+            Ok(n) => filled += n,
+            Err(e) => return Err(FrameError::Io(e.to_string())),
+        }
+    }
+    let len = u32::from_be_bytes(len_buf);
+    if len > MAX_FRAME_LEN {
+        return Err(FrameError::Oversized(len));
+    }
+    let mut payload = vec![0u8; len as usize];
+    reader
+        .read_exact(&mut payload)
+        .map_err(|e| FrameError::Io(e.to_string()))?;
+    Ok(payload)
+}
+
+/// Writes one length-prefixed frame.
+pub fn write_frame(writer: &mut impl Write, payload: &[u8]) -> std::io::Result<()> {
+    let len = u32::try_from(payload.len())
+        .map_err(|_| std::io::Error::new(std::io::ErrorKind::InvalidInput, "frame too large"))?;
+    writer.write_all(&len.to_be_bytes())?;
+    writer.write_all(payload)?;
+    writer.flush()
+}
+
+/// Serializes a reply and writes it as one frame.
+pub fn write_reply(writer: &mut impl Write, reply: &Reply) -> std::io::Result<()> {
+    let json = serde_json::to_string(reply).map_err(|e| std::io::Error::other(e.to_string()))?;
+    write_frame(writer, json.as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_and_reply_round_trip_through_json() {
+        let req = Request {
+            id: 42,
+            pixels: vec![0.0, 0.5, 1.0],
+            shape: vec![3, 1, 1],
+            deadline_ms: Some(25),
+        };
+        let json = serde_json::to_string(&req).unwrap();
+        let back: Request = serde_json::from_str(&json).unwrap();
+        assert_eq!(req, back);
+
+        for reply in [
+            Reply::Prediction {
+                id: 1,
+                class: 2,
+                logits: vec![0.1, -0.2, 0.9],
+                rung: RungLabel::Anytime,
+                steps: 3,
+            },
+            Reply::Overloaded { id: 2 },
+            Reply::DeadlineExceeded { id: 3 },
+            Reply::BadRequest {
+                id: 4,
+                reason: "bad shape".into(),
+            },
+            Reply::Error {
+                id: 5,
+                reason: "worker died".into(),
+            },
+        ] {
+            let json = serde_json::to_string(&reply).unwrap();
+            let back: Reply = serde_json::from_str(&json).unwrap();
+            assert_eq!(reply, back);
+            assert_eq!(reply.id(), back.id());
+        }
+    }
+
+    #[test]
+    fn deadline_defaults_to_none_when_absent() {
+        let req: Request =
+            serde_json::from_str(r#"{"id": 7, "pixels": [1.0], "shape": [1]}"#).unwrap();
+        assert_eq!(req.deadline_ms, None);
+    }
+
+    #[test]
+    fn frames_round_trip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        let mut cursor = &buf[..];
+        assert_eq!(read_frame(&mut cursor).unwrap(), b"hello");
+        assert_eq!(read_frame(&mut cursor).unwrap(), b"");
+        assert_eq!(read_frame(&mut cursor), Err(FrameError::Closed));
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_rejected_without_allocating() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&u32::MAX.to_be_bytes());
+        let mut cursor = &buf[..];
+        assert_eq!(
+            read_frame(&mut cursor),
+            Err(FrameError::Oversized(u32::MAX))
+        );
+    }
+
+    #[test]
+    fn truncated_frame_is_an_io_error_not_a_hang() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&8u32.to_be_bytes());
+        buf.extend_from_slice(b"abc");
+        let mut cursor = &buf[..];
+        assert!(matches!(read_frame(&mut cursor), Err(FrameError::Io(_))));
+    }
+}

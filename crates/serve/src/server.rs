@@ -1,0 +1,441 @@
+//! The serving front end: bounded admission queue, dynamic batcher,
+//! panic-isolated workers, an in-process [`Client`], a TCP listener
+//! speaking the length-prefixed JSON protocol, and graceful drain.
+//!
+//! Invariants:
+//!
+//! * **Exactly one reply per admitted submission.** Every path out of
+//!   [`Client::submit`] — validation failure, shed, deadline expiry,
+//!   successful inference, worker panic after retries — sends exactly
+//!   one typed [`Reply`] on the request's channel. Nothing is dropped
+//!   silently.
+//! * **Workers are panic-isolated.** A batch that panics inside the
+//!   engine (chaos seam, or a genuine bug) is caught, split in half,
+//!   and each half retried once; requests in a half that panics again
+//!   get a typed [`Reply::Error`]. The worker thread itself survives.
+//! * **Drain is graceful.** [`Server::shutdown`] stops admissions
+//!   (late submissions get a typed `Overloaded`), lets workers flush
+//!   every queued request, joins them, and returns the final metrics
+//!   snapshot; [`Server::shutdown_to`] additionally persists it with
+//!   an fsync so a supervisor restart cannot lose the run's counters.
+
+use std::collections::VecDeque;
+use std::io::Write as _;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use ull_obs::MetricsSnapshot;
+use ull_tensor::Tensor;
+
+use crate::config::ServeConfig;
+use crate::engine::Engine;
+use crate::ladder::choose_rung;
+use crate::protocol::{read_frame, write_reply, FrameError, Reply, Request, RungLabel};
+
+/// One admitted request waiting for a worker.
+struct Pending {
+    id: u64,
+    data: Vec<f32>,
+    deadline: Instant,
+    reply: mpsc::Sender<Reply>,
+}
+
+struct QueueState {
+    q: VecDeque<Pending>,
+    draining: bool,
+}
+
+struct Shared {
+    cfg: ServeConfig,
+    engine: Engine,
+    queue: Mutex<QueueState>,
+    cv: Condvar,
+}
+
+fn lock_queue(shared: &Shared) -> MutexGuard<'_, QueueState> {
+    // Workers never panic while holding the queue lock (inference runs
+    // outside it), but be robust to poisoning anyway: the queue is
+    // structurally consistent at every await point.
+    shared.queue.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// A running inference server. Dropping without calling
+/// [`shutdown`](Self::shutdown) aborts workers ungracefully (their
+/// threads are detached); always shut down explicitly.
+pub struct Server {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+    accept_stop: Arc<AtomicBool>,
+    accept_threads: Vec<(SocketAddr, JoinHandle<()>)>,
+}
+
+/// In-process handle for submitting requests; cheap to clone.
+#[derive(Clone)]
+pub struct Client {
+    shared: Arc<Shared>,
+}
+
+impl Server {
+    /// Starts `cfg.workers` worker threads over `engine`.
+    pub fn start(engine: Engine) -> Server {
+        let cfg = engine.config().clone();
+        let workers_n = cfg.workers;
+        let shared = Arc::new(Shared {
+            cfg,
+            engine,
+            queue: Mutex::new(QueueState {
+                q: VecDeque::new(),
+                draining: false,
+            }),
+            cv: Condvar::new(),
+        });
+        let workers = (0..workers_n)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("serve-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn worker")
+            })
+            .collect();
+        Server {
+            shared,
+            workers,
+            accept_stop: Arc::new(AtomicBool::new(false)),
+            accept_threads: Vec::new(),
+        }
+    }
+
+    /// An in-process client sharing this server's queue.
+    pub fn client(&self) -> Client {
+        Client {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// The engine (for soak harnesses that need chaos seams/events).
+    pub fn engine(&self) -> &Engine {
+        &self.shared.engine
+    }
+
+    /// Binds `addr` (e.g. `"127.0.0.1:0"`) and serves the framed JSON
+    /// protocol on it. Returns the bound address. Each connection gets
+    /// its own thread handling requests serially in arrival order.
+    pub fn listen(&mut self, addr: &str) -> std::io::Result<SocketAddr> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let client = self.client();
+        let stop = Arc::clone(&self.accept_stop);
+        let handle = std::thread::Builder::new()
+            .name("serve-accept".to_string())
+            .spawn(move || {
+                for conn in listener.incoming() {
+                    if stop.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Ok(stream) = conn else { continue };
+                    let client = client.clone();
+                    // Connection threads are detached: they exit when the
+                    // peer hangs up, and during drain their submissions
+                    // get typed `Overloaded` replies.
+                    let _ = std::thread::Builder::new()
+                        .name("serve-conn".to_string())
+                        .spawn(move || serve_connection(stream, &client));
+                }
+            })?;
+        self.accept_threads.push((local, handle));
+        Ok(local)
+    }
+
+    /// Graceful drain: stop admitting, flush the queue, join workers
+    /// and the accept loop, return the final metrics snapshot.
+    pub fn shutdown(mut self) -> MetricsSnapshot {
+        {
+            let mut st = lock_queue(&self.shared);
+            st.draining = true;
+            self.shared.cv.notify_all();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+        self.accept_stop.store(true, Ordering::SeqCst);
+        for (addr, handle) in self.accept_threads.drain(..) {
+            // Wake the accept loop with a throwaway connection so it
+            // observes the stop flag.
+            let _ = TcpStream::connect(addr);
+            let _ = handle.join();
+        }
+        ull_obs::snapshot()
+    }
+
+    /// [`shutdown`](Self::shutdown), then persist the snapshot as JSON
+    /// with an fsync before returning it.
+    pub fn shutdown_to(self, path: &Path) -> std::io::Result<MetricsSnapshot> {
+        let snap = self.shutdown();
+        let json = serde_json::to_string_pretty(&snap)
+            .map_err(|e| std::io::Error::other(e.to_string()))?;
+        let mut f = std::fs::File::create(path)?;
+        f.write_all(json.as_bytes())?;
+        f.sync_all()?;
+        Ok(snap)
+    }
+}
+
+impl Client {
+    /// Validates and enqueues a request. Always results in exactly one
+    /// reply on the returned channel.
+    pub fn submit(&self, req: Request) -> mpsc::Receiver<Reply> {
+        let (tx, rx) = mpsc::channel();
+        let reply = |r: Reply| {
+            let _ = tx.send(r);
+        };
+        if let Err(reason) = validate(&self.shared.cfg, &req) {
+            ull_obs::counter_add("serve.bad_request", 1);
+            reply(Reply::BadRequest { id: req.id, reason });
+            return rx;
+        }
+        let deadline_ms = req
+            .deadline_ms
+            .unwrap_or(self.shared.cfg.default_deadline_ms);
+        let pending = Pending {
+            id: req.id,
+            data: req.pixels,
+            deadline: Instant::now() + Duration::from_millis(deadline_ms),
+            reply: tx.clone(),
+        };
+        {
+            let mut st = lock_queue(&self.shared);
+            if st.draining || st.q.len() >= self.shared.cfg.queue_capacity {
+                drop(st);
+                ull_obs::counter_add("serve.shed", 1);
+                reply(Reply::Overloaded { id: req.id });
+                return rx;
+            }
+            st.q.push_back(pending);
+            ull_obs::counter_add("serve.admitted", 1);
+            ull_obs::gauge_set("serve.queue_depth", st.q.len() as u64);
+            self.shared.cv.notify_one();
+        }
+        rx
+    }
+
+    /// Submit and block for the reply.
+    pub fn call(&self, req: Request) -> Reply {
+        let id = req.id;
+        self.submit(req).recv().unwrap_or(Reply::Error {
+            id,
+            reason: "reply channel closed".to_string(),
+        })
+    }
+}
+
+/// Structural request validation: shape, volume, finiteness.
+fn validate(cfg: &ServeConfig, req: &Request) -> Result<(), String> {
+    if req.shape != cfg.input_shape {
+        return Err(format!(
+            "shape {:?} does not match the served model's input {:?}",
+            req.shape, cfg.input_shape
+        ));
+    }
+    let want = cfg.sample_volume();
+    if req.pixels.len() != want {
+        return Err(format!(
+            "{} pixels do not fill shape {:?} ({} expected)",
+            req.pixels.len(),
+            req.shape,
+            want
+        ));
+    }
+    if let Some(i) = req.pixels.iter().position(|p| !p.is_finite()) {
+        return Err(format!("pixel {i} is not finite"));
+    }
+    Ok(())
+}
+
+/// Pops queued requests until one is still live, replying
+/// `DeadlineExceeded` to every expired request on the way.
+fn pop_live(st: &mut QueueState, now: Instant) -> Option<Pending> {
+    while let Some(p) = st.q.pop_front() {
+        if now >= p.deadline {
+            ull_obs::counter_add("serve.deadline_exceeded", 1);
+            let _ = p.reply.send(Reply::DeadlineExceeded { id: p.id });
+            continue;
+        }
+        return Some(p);
+    }
+    None
+}
+
+fn worker_loop(shared: &Shared) {
+    let cfg = &shared.cfg;
+    let linger = Duration::from_millis(cfg.max_linger_ms);
+    loop {
+        // Assemble a batch: block for the first live request, then
+        // linger briefly for more, up to `max_batch`.
+        let (batch, depth_behind) = {
+            let mut st = lock_queue(shared);
+            let first = loop {
+                if let Some(p) = pop_live(&mut st, Instant::now()) {
+                    break p;
+                }
+                if st.draining {
+                    return;
+                }
+                st = shared.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+            };
+            let mut batch = vec![first];
+            let linger_until = Instant::now() + linger;
+            while batch.len() < cfg.max_batch {
+                if let Some(p) = pop_live(&mut st, Instant::now()) {
+                    batch.push(p);
+                    continue;
+                }
+                let now = Instant::now();
+                if st.draining || now >= linger_until {
+                    break;
+                }
+                let (guard, _) = shared
+                    .cv
+                    .wait_timeout(st, linger_until - now)
+                    .unwrap_or_else(|e| e.into_inner());
+                st = guard;
+            }
+            ull_obs::gauge_set("serve.queue_depth", st.q.len() as u64);
+            (batch, st.q.len())
+        };
+
+        // Rung choice from queue pressure + the tightest deadline.
+        let now = Instant::now();
+        let min_remaining = batch
+            .iter()
+            .map(|p| p.deadline.saturating_duration_since(now).as_millis() as u64)
+            .min();
+        let rung = choose_rung(cfg, depth_behind, min_remaining);
+
+        execute_and_reply(shared, batch, rung, true);
+    }
+}
+
+/// Runs one assembled batch through the engine with panic isolation.
+/// On a panic and `may_retry`, the batch is split in half and each half
+/// retried once; a half that panics again yields typed `Error` replies.
+fn execute_and_reply(shared: &Shared, batch: Vec<Pending>, rung: RungLabel, may_retry: bool) {
+    let x = match batch_tensor(&shared.cfg, &batch) {
+        Ok(x) => x,
+        Err(reason) => {
+            for p in batch {
+                let _ = p.reply.send(Reply::Error {
+                    id: p.id,
+                    reason: reason.clone(),
+                });
+            }
+            return;
+        }
+    };
+    let outcome = catch_unwind(AssertUnwindSafe(|| shared.engine.execute(&x, rung)));
+    match outcome {
+        Ok(result) => {
+            let classes = result.logits.shape()[1];
+            let data = result.logits.data();
+            for (r, p) in batch.into_iter().enumerate() {
+                let row = &data[r * classes..(r + 1) * classes];
+                let class = row
+                    .iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.total_cmp(b.1))
+                    .map(|(i, _)| i)
+                    .unwrap_or(0);
+                ull_obs::counter_add("serve.served", 1);
+                let _ = p.reply.send(Reply::Prediction {
+                    id: p.id,
+                    class,
+                    logits: row.to_vec(),
+                    rung: result.rung,
+                    steps: result.steps[r],
+                });
+            }
+        }
+        Err(_) => {
+            ull_obs::counter_add("serve.worker_panics", 1);
+            if may_retry && batch.len() > 1 {
+                let mut batch = batch;
+                let tail = batch.split_off(batch.len() / 2);
+                execute_and_reply(shared, batch, rung, false);
+                execute_and_reply(shared, tail, rung, false);
+            } else if may_retry {
+                execute_and_reply(shared, batch, rung, false);
+            } else {
+                for p in batch {
+                    let _ = p.reply.send(Reply::Error {
+                        id: p.id,
+                        reason: "inference worker panicked twice on this batch".to_string(),
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// Stacks validated per-request pixel buffers into a `[n, shape…]`
+/// tensor. Validation at admission makes failure unreachable, but the
+/// error path still replies rather than panicking.
+fn batch_tensor(cfg: &ServeConfig, batch: &[Pending]) -> Result<Tensor, String> {
+    let mut shape = vec![batch.len()];
+    shape.extend_from_slice(&cfg.input_shape);
+    let mut data = Vec::with_capacity(batch.len() * cfg.sample_volume());
+    for p in batch {
+        data.extend_from_slice(&p.data);
+    }
+    Tensor::from_vec(data, &shape).map_err(|e| format!("batch assembly failed: {e}"))
+}
+
+/// Per-connection loop: framed JSON requests in, framed JSON replies
+/// out, strictly in order. Framing errors that cannot be resynced
+/// (oversized prefix, I/O) close the connection after a best-effort
+/// typed reply.
+fn serve_connection(mut stream: TcpStream, client: &Client) {
+    loop {
+        match read_frame(&mut stream) {
+            Ok(payload) => {
+                let text = String::from_utf8_lossy(&payload);
+                match serde_json::from_str::<Request>(&text) {
+                    Ok(req) => {
+                        let reply = client.call(req);
+                        if write_reply(&mut stream, &reply).is_err() {
+                            return;
+                        }
+                    }
+                    Err(e) => {
+                        ull_obs::counter_add("serve.bad_request", 1);
+                        let reply = Reply::BadRequest {
+                            id: 0,
+                            reason: format!("invalid request: {e}"),
+                        };
+                        if write_reply(&mut stream, &reply).is_err() {
+                            return;
+                        }
+                    }
+                }
+            }
+            Err(FrameError::Closed) => return,
+            Err(e @ FrameError::Oversized(_)) => {
+                ull_obs::counter_add("serve.bad_request", 1);
+                let _ = write_reply(
+                    &mut stream,
+                    &Reply::BadRequest {
+                        id: 0,
+                        reason: e.to_string(),
+                    },
+                );
+                return;
+            }
+            Err(FrameError::Io(_)) => return,
+        }
+    }
+}

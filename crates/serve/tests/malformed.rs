@@ -1,0 +1,191 @@
+//! Malformed-input hardening: hostile bytes, oversized frames, wrong
+//! shapes and non-finite pixels must all produce typed `BadRequest`
+//! replies — never a worker death, never a silent drop.
+
+use std::net::{SocketAddr, TcpStream};
+use std::sync::OnceLock;
+
+use proptest::prelude::*;
+use ull_data::{generate, SynthCifarConfig};
+use ull_nn::models;
+use ull_serve::{
+    read_frame, write_frame, Engine, ReplicaSpec, Reply, Request, ServeConfig, Server,
+};
+use ull_snn::{SnnNetwork, SpikeSpec};
+
+const CLASSES: usize = 3;
+const SIDE: usize = 8;
+const VOLUME: usize = 3 * SIDE * SIDE;
+
+/// One server shared by every case in this file; its worker threads
+/// live for the test process lifetime.
+fn service() -> &'static (SocketAddr, ull_serve::Client) {
+    static SERVICE: OnceLock<(SocketAddr, ull_serve::Client)> = OnceLock::new();
+    SERVICE.get_or_init(|| {
+        let dnn = models::vgg_micro(CLASSES, SIDE, 0.25, 11);
+        let specs = vec![SpikeSpec::identity(0.5); dnn.threshold_nodes().len()];
+        let net = SnnNetwork::from_network(&dnn, &specs).unwrap();
+        let cfg = ServeConfig {
+            input_shape: vec![3, SIDE, SIDE],
+            t_full: 2,
+            t_reduced: 1,
+            workers: 2,
+            ..ServeConfig::default()
+        };
+        let engine = Engine::new(
+            cfg,
+            vec![ReplicaSpec {
+                name: "primary".to_string(),
+                net,
+                envelope_full: None,
+                envelope_reduced: None,
+            }],
+            None,
+        );
+        let mut server = Server::start(engine);
+        let addr = server.listen("127.0.0.1:0").unwrap();
+        let client = server.client();
+        // Keep the server alive for the whole process: tests in this
+        // file share it and never drain it.
+        std::mem::forget(server);
+        (addr, client)
+    })
+}
+
+fn good_request(id: u64) -> Request {
+    let (_, test) = generate(&SynthCifarConfig::tiny(CLASSES));
+    let batch = test.eval_batches(1).next().unwrap();
+    Request {
+        id,
+        pixels: batch.images.data().to_vec(),
+        shape: vec![3, SIDE, SIDE],
+        deadline_ms: None,
+    }
+}
+
+fn read_reply(conn: &mut TcpStream) -> Reply {
+    let payload = read_frame(conn).expect("server must reply with a frame");
+    serde_json::from_str(&String::from_utf8(payload).expect("utf-8 reply"))
+        .expect("reply must be typed")
+}
+
+#[test]
+fn wrong_shape_and_wrong_volume_get_typed_bad_requests() {
+    let (_, client) = service();
+    let mut req = good_request(1);
+    req.shape = vec![1, SIDE, SIDE];
+    match client.call(req) {
+        Reply::BadRequest { id: 1, reason } => assert!(reason.contains("shape"), "{reason}"),
+        other => panic!("got {other:?}"),
+    }
+    let mut req = good_request(2);
+    req.pixels.truncate(10);
+    match client.call(req) {
+        Reply::BadRequest { id: 2, reason } => assert!(reason.contains("pixels"), "{reason}"),
+        other => panic!("got {other:?}"),
+    }
+}
+
+#[test]
+fn non_finite_pixels_get_typed_bad_requests_even_via_json() {
+    let (addr, _) = service();
+    let mut conn = TcpStream::connect(addr).unwrap();
+    // "1e999" overflows f64 parsing to +inf — a wire-level way to smuggle
+    // a non-finite pixel past any client-side checks.
+    let pixels: Vec<String> = (0..VOLUME)
+        .map(|i| {
+            if i == 5 {
+                "1e999".to_string()
+            } else {
+                "0.5".to_string()
+            }
+        })
+        .collect();
+    let json = format!(
+        r#"{{"id": 9, "pixels": [{}], "shape": [3, {SIDE}, {SIDE}]}}"#,
+        pixels.join(", ")
+    );
+    write_frame(&mut conn, json.as_bytes()).unwrap();
+    match read_reply(&mut conn) {
+        Reply::BadRequest { id: 9, reason } => assert!(reason.contains("finite"), "{reason}"),
+        other => panic!("got {other:?}"),
+    }
+}
+
+#[test]
+fn oversized_frames_are_rejected_before_allocation_and_close_the_connection() {
+    use std::io::{Read, Write};
+    let (addr, _) = service();
+    let mut conn = TcpStream::connect(addr).unwrap();
+    // A 3 GiB length prefix: accepting it would OOM; the server must
+    // reply with a typed BadRequest and hang up.
+    conn.write_all(&(3u32 << 30).to_be_bytes()).unwrap();
+    conn.flush().unwrap();
+    match read_reply(&mut conn) {
+        Reply::BadRequest { id: 0, reason } => assert!(reason.contains("exceeds"), "{reason}"),
+        other => panic!("got {other:?}"),
+    }
+    let mut rest = Vec::new();
+    conn.read_to_end(&mut rest).unwrap();
+    assert!(
+        rest.is_empty(),
+        "connection must be closed after a framing error"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Arbitrary bytes framed as a request yield a typed reply and leave
+    /// the service able to answer a well-formed request afterwards.
+    #[test]
+    fn arbitrary_frames_never_kill_the_service(
+        raw in proptest::collection::vec(0usize..256, 0..200),
+        id in 0u64..1_000_000,
+    ) {
+        let (addr, _) = service();
+        let bytes: Vec<u8> = raw.iter().map(|&b| b as u8).collect();
+        let mut conn = TcpStream::connect(*addr).unwrap();
+        write_frame(&mut conn, &bytes).unwrap();
+        let reply = read_reply(&mut conn);
+        prop_assert!(
+            matches!(reply, Reply::BadRequest { .. }),
+            "random bytes must be rejected, got {:?}", reply
+        );
+        // The same connection still serves real traffic.
+        let req = good_request(id);
+        write_frame(&mut conn, serde_json::to_string(&req).unwrap().as_bytes()).unwrap();
+        let reply = read_reply(&mut conn);
+        prop_assert!(reply.is_prediction(), "service wedged: {:?}", reply);
+    }
+
+    /// Structurally hostile requests (bad lengths, non-finite values at
+    /// arbitrary positions) submitted in-process always produce exactly
+    /// one typed reply and never poison a worker.
+    #[test]
+    fn hostile_pixel_payloads_never_kill_a_worker(
+        len in 0usize..300,
+        poison_at in 0usize..300,
+        poison_kind in 0usize..4,
+        fill in -2.0f32..2.0,
+    ) {
+        let (_, client) = service();
+        let mut pixels = vec![fill; len];
+        if poison_at < len {
+            pixels[poison_at] = match poison_kind {
+                0 => f32::NAN,
+                1 => f32::INFINITY,
+                2 => f32::NEG_INFINITY,
+                _ => fill,
+            };
+        }
+        let req = Request { id: 77, pixels, shape: vec![3, SIDE, SIDE], deadline_ms: None };
+        let reply = client.call(req);
+        prop_assert!(
+            matches!(reply, Reply::BadRequest { .. } | Reply::Prediction { .. }),
+            "got {:?}", reply
+        );
+        // Valid traffic flows right after.
+        prop_assert!(client.call(good_request(78)).is_prediction());
+    }
+}

@@ -1,0 +1,394 @@
+//! End-to-end serving tests over the in-process client and the TCP
+//! listener: typed replies on every path, deadline handling, load
+//! shedding, breaker-driven failover, panic isolation, graceful drain,
+//! and thread-count invariance of clean runs.
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+use ull_data::{generate, Dataset, SynthCifarConfig};
+use ull_nn::models;
+use ull_robust::{profile_envelope, FaultConfig, FaultedNetwork, InferenceFault};
+use ull_serve::{
+    BreakerState, Engine, ReplicaSpec, Reply, Request, RungLabel, ServeConfig, Server,
+};
+use ull_snn::{SnnNetwork, SpikeSpec};
+use ull_tensor::parallel;
+
+const CLASSES: usize = 3;
+const SIDE: usize = 8;
+
+fn clean_net(seed: u64) -> SnnNetwork {
+    let dnn = models::vgg_micro(CLASSES, SIDE, 0.25, seed);
+    let specs = vec![SpikeSpec::identity(0.5); dnn.threshold_nodes().len()];
+    SnnNetwork::from_network(&dnn, &specs).unwrap()
+}
+
+fn faulted_net(seed: u64, ber: f64) -> SnnNetwork {
+    let clean = clean_net(seed);
+    let cfg = FaultConfig::new(seed).with(InferenceFault::WeightBitFlip { ber });
+    FaultedNetwork::new(&clean, &cfg).network().clone()
+}
+
+fn test_data() -> Dataset {
+    let (_, test) = generate(&SynthCifarConfig::tiny(CLASSES));
+    test
+}
+
+/// One request per test image, flattened.
+fn requests(data: &Dataset, n: usize) -> Vec<Request> {
+    data.eval_batches(1)
+        .take(n)
+        .enumerate()
+        .map(|(i, b)| Request {
+            id: i as u64 + 1,
+            pixels: b.images.data().to_vec(),
+            shape: vec![3, SIDE, SIDE],
+            deadline_ms: None,
+        })
+        .collect()
+}
+
+fn replica(name: &str, net: SnnNetwork, profile_on: &Dataset, cfg: &ServeConfig) -> ReplicaSpec {
+    // Profile the *clean* dynamics at both fixed-T rungs with per-sample
+    // batches, matching how the tests submit traffic.
+    let clean = clean_net(11);
+    ReplicaSpec {
+        name: name.to_string(),
+        net,
+        envelope_full: Some(profile_envelope(
+            &clean, profile_on, cfg.t_full, 1, 0.5, 0.05,
+        )),
+        envelope_reduced: Some(profile_envelope(
+            &clean,
+            profile_on,
+            cfg.t_reduced,
+            1,
+            0.5,
+            0.05,
+        )),
+    }
+}
+
+fn base_config() -> ServeConfig {
+    ServeConfig {
+        input_shape: vec![3, SIDE, SIDE],
+        t_full: 4,
+        t_reduced: 2,
+        workers: 2,
+        queue_capacity: 64,
+        max_batch: 4,
+        max_linger_ms: 1,
+        default_deadline_ms: 30_000,
+        // Quarantine far longer than any test so a tripped breaker never
+        // half-opens mid-assertion.
+        backoff_base_ms: 120_000,
+        backoff_max_ms: 600_000,
+        ..ServeConfig::default()
+    }
+}
+
+#[test]
+fn predictions_flow_end_to_end() {
+    let data = test_data();
+    let cfg = base_config();
+    let engine = Engine::new(
+        cfg.clone(),
+        vec![replica("primary", clean_net(11), &data, &cfg)],
+        None,
+    );
+    let server = Server::start(engine);
+    let client = server.client();
+    for req in requests(&data, 12) {
+        match client.call(req) {
+            Reply::Prediction {
+                class,
+                logits,
+                rung,
+                steps,
+                ..
+            } => {
+                assert!(class < CLASSES);
+                assert_eq!(logits.len(), CLASSES);
+                assert_eq!(rung, RungLabel::Full, "idle queue serves full quality");
+                assert_eq!(steps, cfg.t_full);
+                assert!(logits.iter().all(|l| l.is_finite()));
+            }
+            other => panic!("expected a prediction, got {other:?}"),
+        }
+    }
+    server.shutdown();
+}
+
+#[test]
+fn expired_deadlines_get_typed_replies_without_inference() {
+    let data = test_data();
+    let cfg = base_config();
+    let engine = Engine::new(
+        cfg.clone(),
+        vec![replica("primary", clean_net(11), &data, &cfg)],
+        None,
+    );
+    let server = Server::start(engine);
+    let client = server.client();
+    let mut req = requests(&data, 1).remove(0);
+    req.deadline_ms = Some(0);
+    assert_eq!(client.call(req), Reply::DeadlineExceeded { id: 1 });
+    server.shutdown();
+}
+
+#[test]
+fn overload_sheds_with_typed_overloaded_and_nothing_is_dropped() {
+    let data = test_data();
+    let cfg = ServeConfig {
+        workers: 1,
+        queue_capacity: 4,
+        max_batch: 1,
+        max_linger_ms: 0,
+        chaos_execute_delay_ms: 40,
+        ..base_config()
+    };
+    let engine = Engine::new(
+        cfg.clone(),
+        vec![replica("primary", clean_net(11), &data, &cfg)],
+        None,
+    );
+    let server = Server::start(engine);
+    let client = server.client();
+    let reqs: Vec<Request> = requests(&data, 4)
+        .into_iter()
+        .cycle()
+        .take(24)
+        .enumerate()
+        .map(|(i, mut r)| {
+            r.id = i as u64 + 1;
+            r
+        })
+        .collect();
+    let receivers: Vec<_> = reqs.into_iter().map(|r| client.submit(r)).collect();
+    let mut shed = 0;
+    let mut served = 0;
+    for (i, rx) in receivers.into_iter().enumerate() {
+        match rx.recv_timeout(Duration::from_secs(30)) {
+            Ok(Reply::Overloaded { id }) => {
+                assert_eq!(id, i as u64 + 1);
+                shed += 1;
+            }
+            Ok(Reply::Prediction { id, .. }) => {
+                assert_eq!(id, i as u64 + 1);
+                served += 1;
+            }
+            other => panic!("request {} got {other:?}", i + 1),
+        }
+    }
+    assert_eq!(shed + served, 24, "exactly one reply per request");
+    assert!(shed > 0, "a 4-deep queue under a 24-burst must shed");
+    assert!(served >= 4, "queued requests must still be served");
+    server.shutdown();
+}
+
+#[test]
+fn breaker_trips_on_faulted_primary_and_fails_over() {
+    let data = test_data();
+    let cfg = ServeConfig {
+        workers: 1,
+        breaker_threshold: 3,
+        ..base_config()
+    };
+    let engine = Engine::new(
+        cfg.clone(),
+        vec![
+            replica("faulted-primary", faulted_net(11, 1e-2), &data, &cfg),
+            replica("clean-fallback", clean_net(11), &data, &cfg),
+        ],
+        None,
+    );
+    let server = Server::start(engine);
+    let client = server.client();
+    for req in requests(&data, 10) {
+        assert!(
+            client.call(req).is_prediction(),
+            "failover must keep serving predictions"
+        );
+    }
+    let events = server.engine().take_events();
+    let trips = server.engine().breaker_trips();
+    assert!(trips >= 1, "faulted primary must trip its breaker");
+    assert_eq!(
+        server.engine().breaker_states()[0],
+        BreakerState::Open,
+        "primary stays quarantined (backoff far exceeds the test)"
+    );
+    assert!(
+        events.iter().any(|e| e.retried && e.replica == 1),
+        "excursions must be retried on the fallback"
+    );
+    let first_open = events
+        .iter()
+        .position(|e| e.breaker_states[0] == BreakerState::Open)
+        .expect("an event after the trip");
+    assert!(
+        first_open < cfg.breaker_threshold + 1,
+        "breaker must trip within {} batches, tripped after {}",
+        cfg.breaker_threshold,
+        first_open + 1
+    );
+    assert!(
+        events[first_open..]
+            .iter()
+            .all(|e| e.replica == 1 && e.healthy),
+        "post-trip traffic is served healthily by the fallback"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn worker_panics_are_isolated_and_retried() {
+    let data = test_data();
+    let cfg = ServeConfig {
+        workers: 1,
+        ..base_config()
+    };
+    let engine = Engine::new(
+        cfg.clone(),
+        vec![replica("primary", clean_net(11), &data, &cfg)],
+        None,
+    );
+    let server = Server::start(engine);
+    let client = server.client();
+    let reqs = requests(&data, 3);
+
+    // One armed panic: the retry succeeds and the client still gets an
+    // answer.
+    server.engine().inject_panics(0, 1);
+    assert!(client.call(reqs[0].clone()).is_prediction());
+
+    // Two armed panics: the single-request batch fails twice and the
+    // reply is a typed error — not a dead worker.
+    server.engine().inject_panics(0, 2);
+    match client.call(reqs[1].clone()) {
+        Reply::Error { id, reason } => {
+            assert_eq!(id, 2);
+            assert!(reason.contains("panicked"), "reason: {reason}");
+        }
+        other => panic!("expected a typed error, got {other:?}"),
+    }
+
+    // The worker survived both episodes.
+    assert!(client.call(reqs[2].clone()).is_prediction());
+    server.shutdown();
+}
+
+#[test]
+fn drain_flushes_the_queue_and_persists_metrics() {
+    let _obs = ull_obs::test_lock();
+    ull_obs::set_enabled(true);
+    ull_obs::reset();
+    let data = test_data();
+    let cfg = ServeConfig {
+        workers: 1,
+        max_batch: 2,
+        chaos_execute_delay_ms: 5,
+        ..base_config()
+    };
+    let engine = Engine::new(
+        cfg.clone(),
+        vec![replica("primary", clean_net(11), &data, &cfg)],
+        None,
+    );
+    let server = Server::start(engine);
+    let client = server.client();
+    let receivers: Vec<_> = requests(&data, 8)
+        .into_iter()
+        .map(|r| client.submit(r))
+        .collect();
+
+    let path = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join("drain_metrics.json");
+    let snap = server.shutdown_to(&path).expect("snapshot persisted");
+    ull_obs::set_enabled(false);
+
+    // Every admitted request was flushed before the workers exited.
+    for rx in receivers {
+        let reply = rx
+            .recv_timeout(Duration::from_secs(1))
+            .expect("drain must flush every queued request");
+        assert!(reply.is_prediction(), "got {reply:?}");
+    }
+    assert_eq!(snap.counters.get("serve.admitted"), Some(&8));
+    assert_eq!(snap.counters.get("serve.served"), Some(&8));
+    let disk: ull_obs::MetricsSnapshot =
+        serde_json::from_str(&std::fs::read_to_string(&path).unwrap()).unwrap();
+    assert_eq!(disk.counters, snap.counters);
+
+    // Submissions after drain get a typed shed reply, not a hang.
+    let late = client.call(requests(&data, 1).remove(0));
+    assert_eq!(late, Reply::Overloaded { id: 1 });
+}
+
+#[test]
+fn tcp_round_trip_speaks_typed_replies() {
+    use std::net::TcpStream;
+    use ull_serve::{read_frame, write_frame};
+
+    let data = test_data();
+    let cfg = base_config();
+    let engine = Engine::new(
+        cfg.clone(),
+        vec![replica("primary", clean_net(11), &data, &cfg)],
+        None,
+    );
+    let mut server = Server::start(engine);
+    let addr = server.listen("127.0.0.1:0").unwrap();
+
+    let mut conn = TcpStream::connect(addr).unwrap();
+    let req = requests(&data, 1).remove(0);
+    write_frame(&mut conn, serde_json::to_string(&req).unwrap().as_bytes()).unwrap();
+    let reply: Reply =
+        serde_json::from_str(&String::from_utf8(read_frame(&mut conn).unwrap()).unwrap()).unwrap();
+    assert!(reply.is_prediction(), "got {reply:?}");
+
+    // Valid frame, invalid JSON → typed BadRequest on the same
+    // connection (framing stays in sync).
+    write_frame(&mut conn, b"{not json").unwrap();
+    let reply: Reply =
+        serde_json::from_str(&String::from_utf8(read_frame(&mut conn).unwrap()).unwrap()).unwrap();
+    assert!(matches!(reply, Reply::BadRequest { .. }), "got {reply:?}");
+    drop(conn);
+    server.shutdown();
+}
+
+#[test]
+fn clean_runs_are_invariant_to_ull_threads() {
+    let _guard = parallel::override_lock();
+    let data = test_data();
+    let run = |threads: usize| -> Vec<Vec<u32>> {
+        parallel::set_threads(threads);
+        let cfg = ServeConfig {
+            workers: 1,
+            ..base_config()
+        };
+        let engine = Engine::new(
+            cfg.clone(),
+            vec![replica("primary", clean_net(11), &data, &cfg)],
+            None,
+        );
+        let server = Server::start(engine);
+        let client = server.client();
+        let logits: Vec<Vec<u32>> = requests(&data, 6)
+            .into_iter()
+            .map(|r| match client.call(r) {
+                Reply::Prediction { logits, .. } => logits.iter().map(|l| l.to_bits()).collect(),
+                other => panic!("got {other:?}"),
+            })
+            .collect();
+        server.shutdown();
+        logits
+    };
+    let serial = run(1);
+    let parallel_run = run(4);
+    parallel::set_threads(0);
+    assert_eq!(
+        serial, parallel_run,
+        "served logits must be bit-identical across ULL_THREADS"
+    );
+}

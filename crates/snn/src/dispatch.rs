@@ -45,13 +45,42 @@ static OVERRIDE_BITS: AtomicU32 = AtomicU32::new(OVERRIDE_UNSET);
 /// at runtime.
 static ENV_CUTOFF: OnceLock<Option<f32>> = OnceLock::new();
 
+/// Parses one `ULL_SPARSE_CUTOFF` value. `Err` carries the reason the
+/// value was rejected (not a number, or NaN — NaN would make every
+/// dispatch comparison false and silently force dense everywhere).
+fn parse_cutoff(raw: &str) -> Result<f32, String> {
+    let c: f32 = raw
+        .trim()
+        .parse()
+        .map_err(|_| format!("`{raw}` is not a number"))?;
+    if c.is_nan() {
+        return Err("NaN is not a meaningful cutoff".to_string());
+    }
+    Ok(c)
+}
+
+/// Resolves an environment-supplied cutoff: well-formed values are used,
+/// malformed values warn once on stderr and fall back to the default
+/// resolution (`None`) instead of silently misrouting every layer.
+fn resolve_env_cutoff(raw: Option<&str>) -> Option<f32> {
+    match raw {
+        None => None,
+        Some(s) => match parse_cutoff(s) {
+            Ok(c) => Some(c),
+            Err(why) => {
+                eprintln!(
+                    "warning: ignoring malformed ULL_SPARSE_CUTOFF ({why}); \
+                     using default {DEFAULT_SPARSE_CUTOFF}"
+                );
+                None
+            }
+        },
+    }
+}
+
 fn env_cutoff() -> Option<f32> {
-    *ENV_CUTOFF.get_or_init(|| {
-        std::env::var("ULL_SPARSE_CUTOFF")
-            .ok()
-            .and_then(|s| s.trim().parse::<f32>().ok())
-            .filter(|c| !c.is_nan())
-    })
+    *ENV_CUTOFF
+        .get_or_init(|| resolve_env_cutoff(std::env::var("ULL_SPARSE_CUTOFF").ok().as_deref()))
 }
 
 /// The density cutoff the dispatcher is currently using.
@@ -135,6 +164,27 @@ mod tests {
         set_sparse_cutoff(Some(f32::NAN));
         assert_eq!(sparse_cutoff(), DEFAULT_SPARSE_CUTOFF);
         set_sparse_cutoff(None);
+    }
+
+    #[test]
+    fn well_formed_env_cutoffs_parse() {
+        assert_eq!(parse_cutoff("0.3"), Ok(0.3));
+        assert_eq!(parse_cutoff(" -1.0 "), Ok(-1.0), "whitespace is trimmed");
+        assert_eq!(resolve_env_cutoff(Some("0.5")), Some(0.5));
+        assert_eq!(resolve_env_cutoff(None), None);
+    }
+
+    #[test]
+    fn malformed_env_cutoffs_warn_and_default() {
+        assert!(parse_cutoff("fast").is_err());
+        assert!(parse_cutoff("").is_err());
+        assert!(parse_cutoff("0.25%").is_err());
+        assert!(parse_cutoff("NaN").is_err(), "NaN must be rejected");
+        // The resolution layer never panics and never lets a malformed
+        // value through — it falls back to the default chain.
+        for bad in ["fast", "", "NaN", "0.25%", "1.0.0"] {
+            assert_eq!(resolve_env_cutoff(Some(bad)), None, "input {bad:?}");
+        }
     }
 
     #[test]

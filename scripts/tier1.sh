@@ -1,9 +1,23 @@
 #!/usr/bin/env sh
 # Tier-1 gate: release build + full workspace test suite.
 # Everything is offline — dependencies are vendored under vendor/.
+#
+# Both steps run under a global timeout so a wedged test (deadlocked
+# queue, hung worker) fails the gate instead of stalling CI; override
+# with TIER1_TIMEOUT=<seconds>.
 set -eu
 
 cd "$(dirname "$0")/.."
 
-cargo build --release --workspace
-cargo test --workspace -q
+TIER1_TIMEOUT="${TIER1_TIMEOUT:-1800}"
+
+run_with_timeout() {
+    if command -v timeout >/dev/null 2>&1; then
+        timeout "$TIER1_TIMEOUT" "$@"
+    else
+        "$@"
+    fi
+}
+
+run_with_timeout cargo build --release --workspace
+run_with_timeout cargo test --workspace -q

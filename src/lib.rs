@@ -24,6 +24,7 @@ pub use ull_grad as grad;
 pub use ull_nn as nn;
 pub use ull_obs as obs;
 pub use ull_robust as robust;
+pub use ull_serve as serve;
 pub use ull_snn as snn;
 pub use ull_tensor as tensor;
 
