@@ -144,11 +144,17 @@ impl Engine {
         let panic_budget = replicas.iter().map(|_| AtomicU64::new(0)).collect();
         let slots = replicas
             .into_iter()
-            .map(|r| ReplicaSlot {
-                name: r.name,
-                net: RwLock::new(r.net),
-                envelope_full: r.envelope_full,
-                envelope_reduced: r.envelope_reduced,
+            .map(|r| {
+                // Pack each replica's weights at build time so the first
+                // request does not pay the packing cost; replicas holding
+                // identical weights share one cached pack.
+                r.net.prepack();
+                ReplicaSlot {
+                    name: r.name,
+                    net: RwLock::new(r.net),
+                    envelope_full: r.envelope_full,
+                    envelope_reduced: r.envelope_reduced,
+                }
             })
             .collect();
         Engine {
@@ -209,6 +215,10 @@ impl Engine {
     /// mid-run" event. In-flight batches finish on whichever network
     /// they read first; later batches see the replacement.
     pub fn chaos_swap_net(&self, replica: usize, net: SnnNetwork) {
+        // Re-pack eagerly: the swapped weights have a new fingerprint, so
+        // without this the first post-swap batch would pay the packing
+        // cost inside the request path.
+        net.prepack();
         *self.replicas[replica]
             .net
             .write()

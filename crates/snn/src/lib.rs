@@ -43,6 +43,7 @@
 pub mod dispatch;
 pub mod encoding;
 mod network;
+pub mod packing;
 pub mod profile;
 mod stats;
 mod train;
@@ -53,6 +54,7 @@ pub use network::{
     SnnError, SnnNetwork, SnnNode, SnnOp, SnnOutput, SnnTape, SpikeLayer, SpikeSpec, StepTamper,
     MAX_V_TH, MEMBRANE_CLAMP,
 };
+pub use packing::{net_fingerprint, packed_for, PackedNet};
 pub use profile::{memory_profile, MemoryProfile};
 pub use stats::{ActivityReport, SpikeStats};
 pub use train::{

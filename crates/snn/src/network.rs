@@ -8,15 +8,16 @@ use rand::rngs::StdRng;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 use ull_nn::{Network, NodeId, NodeOp, Param};
-use ull_tensor::conv::{conv2d, conv2d_into, ConvGeometry, ConvScratch};
+use ull_tensor::conv::{conv2d, conv2d_into, conv2d_packed_into, ConvGeometry, ConvScratch};
 use ull_tensor::parallel;
 use ull_tensor::pool::{avgpool2d, avgpool2d_into, maxpool2d, maxpool2d_into};
 use ull_tensor::{
-    conv2d_events, matmul_tb_events, matmul_transpose_b, matmul_transpose_b_into,
-    scan_uniform_density, SpikeBatch, Tensor,
+    conv2d_events, matmul_tb_events, matmul_tb_packed_into, matmul_transpose_b,
+    matmul_transpose_b_into, scan_uniform_density, SpikeBatch, Tensor,
 };
 
 use crate::dispatch::{self, RouteState};
+use crate::packing::{self, PackedNet};
 use crate::stats::SpikeStats;
 
 /// Error type for SNN construction and transformation.
@@ -593,15 +594,25 @@ impl SnnNetwork {
     ) -> SnnOutput {
         let batch = x.shape()[0];
         let threads = parallel::num_threads();
+        // Resolve the packed weights once per forward call — one
+        // fingerprint scan and one cache lookup, outside the worker pool —
+        // and share the pack across every batch chunk and time step.
+        let pack = packing::packed_for(self);
+        let pack = pack.as_deref();
         if threads <= 1 || batch < 2 {
-            self.forward_chunk(x, t_steps, tamper.map(|t| (t, 0)))
+            self.forward_chunk(x, t_steps, tamper.map(|t| (t, 0)), pack)
         } else {
             let chunk = batch.div_ceil(threads);
             let n_chunks = batch.div_ceil(chunk);
             let parts = parallel::par_map(n_chunks, |ci| {
                 let lo = ci * chunk;
                 let hi = ((ci + 1) * chunk).min(batch);
-                self.forward_chunk(&x.slice_batch(lo, hi), t_steps, tamper.map(|t| (t, lo)))
+                self.forward_chunk(
+                    &x.slice_batch(lo, hi),
+                    t_steps,
+                    tamper.map(|t| (t, lo)),
+                    pack,
+                )
             });
             // Merge in chunk (= batch) order: logit rows concatenate back
             // into batch order and the integer spike counters sum exactly.
@@ -632,13 +643,20 @@ impl SnnNetwork {
         x: &Tensor,
         t_steps: usize,
         tamper: Option<(&dyn StepTamper, usize)>,
+        pack: Option<&PackedNet>,
     ) -> SnnOutput {
         let batch = x.shape()[0];
         let mut stats = SpikeStats::new(self.nodes.len(), batch, t_steps);
         let mut ws = StepWorkspace::new(self.nodes.len());
         let mut logits: Option<Tensor> = None;
         for t in 0..t_steps {
-            self.step_ws(x, &mut ws, &mut stats, tamper.map(|(h, off)| (h, t, off)));
+            self.step_ws(
+                x,
+                &mut ws,
+                &mut stats,
+                tamper.map(|(h, off)| (h, t, off)),
+                pack,
+            );
             let out_act = &ws.acts[self.output];
             match &mut logits {
                 Some(l) => l.add_assign(out_act),
@@ -668,6 +686,7 @@ impl SnnNetwork {
         ws: &mut StepWorkspace,
         stats: &mut SpikeStats,
         tamper: Option<(&dyn StepTamper, usize, usize)>,
+        pack: Option<&PackedNet>,
     ) {
         let cutoff = dispatch::sparse_cutoff();
         let StepWorkspace {
@@ -696,7 +715,21 @@ impl SnnNetwork {
                     } else {
                         let (uniform, density) = scan_uniform_density(inp);
                         routes[i].observe(uniform, density);
-                        conv2d_into(inp, &weight.value, bias_t, *geo, &mut conv_scratch[i], out);
+                        // Bit-identical either way; the pack only changes
+                        // the weight memory layout.
+                        match pack.and_then(|p| p.node(i)) {
+                            Some(pw) => {
+                                conv2d_packed_into(inp, pw, bias_t, *geo, &mut conv_scratch[i], out)
+                            }
+                            None => conv2d_into(
+                                inp,
+                                &weight.value,
+                                bias_t,
+                                *geo,
+                                &mut conv_scratch[i],
+                                out,
+                            ),
+                        }
                     }
                     record_dispatch(i, use_sparse);
                 }
@@ -710,7 +743,10 @@ impl SnnNetwork {
                     } else {
                         let (uniform, density) = scan_uniform_density(inp);
                         routes[i].observe(uniform, density);
-                        matmul_transpose_b_into(inp, &weight.value, out);
+                        match pack.and_then(|p| p.node(i)) {
+                            Some(pw) => matmul_tb_packed_into(inp, pw, out),
+                            None => matmul_transpose_b_into(inp, &weight.value, out),
+                        }
                     }
                     if let Some(b) = bias {
                         let width = weight.value.shape()[0];

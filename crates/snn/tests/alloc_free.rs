@@ -17,9 +17,10 @@ use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use ull_nn::NetworkBuilder;
-use ull_snn::{dispatch, set_sparse_cutoff, SnnNetwork, SpikeSpec};
+use ull_snn::packing::clear_pack_cache;
+use ull_snn::{dispatch, set_sparse_cutoff, SnnNetwork, SnnOp, SpikeSpec, StepTamper};
 use ull_tensor::init::{normal, seeded_rng};
-use ull_tensor::parallel;
+use ull_tensor::{parallel, set_packed, Tensor};
 
 static ALLOC_HITS: AtomicU64 = AtomicU64::new(0);
 
@@ -104,4 +105,124 @@ fn steady_state_step_loop_does_not_allocate() {
 
     set_sparse_cutoff(None);
     parallel::set_threads(0);
+}
+
+/// Packed weights are built exactly once per network: after the first
+/// forward, extra timesteps, batches and whole forward calls hit the pack
+/// cache and allocate nothing new.
+#[test]
+fn packed_weights_build_once_and_steady_state_stays_alloc_free() {
+    let snn = test_net(7);
+    let x = normal(&[3, 2, 8, 8], 0.0, 1.0, &mut seeded_rng(17));
+    let x_small = normal(&[1, 2, 8, 8], 0.0, 1.0, &mut seeded_rng(18));
+    // override_lock also serializes against the other alloc tests here,
+    // which must not see the pack cache cleared mid-measurement.
+    let _threads = parallel::override_lock();
+    let _cutoff = dispatch::cutoff_lock();
+    let _packed = ull_tensor::packed::packed_lock();
+    let _obs = ull_obs::test_lock();
+    parallel::set_threads(1);
+    // Force the dense route everywhere so every step exercises the packed
+    // kernels.
+    set_sparse_cutoff(Some(-1.0));
+    set_packed(Some(true));
+    clear_pack_cache();
+
+    ull_obs::reset();
+    ull_obs::set_enabled(true);
+    snn.forward(&x, 1); // builds the pack, grows workspace buffers
+    snn.forward(&x, 8); // extra timesteps: same pack
+    snn.forward(&x_small, 2); // different batch shape: same pack
+    ull_obs::set_enabled(false);
+    let snap = ull_obs::snapshot();
+    assert_eq!(
+        snap.counters.get("snn.pack.builds"),
+        Some(&1),
+        "pack must be built exactly once across forwards, timesteps and batches"
+    );
+    assert!(
+        snap.counters.get("snn.pack.hits").is_some_and(|&h| h >= 2),
+        "subsequent forwards must hit the cached pack: {:?}",
+        snap.counters.get("snn.pack.hits")
+    );
+
+    // With the pack warm (and obs off — its records allocate), extra
+    // steady-state steps must not touch the allocator.
+    let short = allocs_during(|| {
+        snn.forward(&x, 2);
+    });
+    let long = allocs_during(|| {
+        snn.forward(&x, 8);
+    });
+    assert!(
+        long <= short,
+        "packed steady-state steps allocated: T=2 cost {short} hits, T=8 cost {long}"
+    );
+
+    ull_obs::reset();
+    set_packed(None);
+    set_sparse_cutoff(None);
+    parallel::set_threads(0);
+    clear_pack_cache();
+}
+
+struct NoopTamper;
+
+impl StepTamper for NoopTamper {
+    fn tamper_spikes(&self, _: usize, _: ull_nn::NodeId, _: usize, _: f32, _: &mut Tensor) {}
+}
+
+/// Stale-pack guard: weights mutated between (tampered) forwards change
+/// the network fingerprint, so the next forward re-packs instead of using
+/// the stale layout — and stays bit-identical to the unpacked path.
+#[test]
+fn tampered_weight_mutation_triggers_repack() {
+    let mut snn = test_net(11);
+    let x = normal(&[2, 2, 8, 8], 0.0, 1.0, &mut seeded_rng(23));
+    let _threads = parallel::override_lock();
+    let _cutoff = dispatch::cutoff_lock();
+    let _packed = ull_tensor::packed::packed_lock();
+    let _obs = ull_obs::test_lock();
+    parallel::set_threads(1);
+    set_sparse_cutoff(Some(-1.0));
+    set_packed(Some(true));
+    clear_pack_cache();
+
+    ull_obs::reset();
+    ull_obs::set_enabled(true);
+    snn.forward_tampered(&x, 3, &NoopTamper);
+    // Simulate an in-place weight fault between inference calls.
+    for node in snn.nodes_mut() {
+        if let SnnOp::Conv2d { weight, .. } = &mut node.op {
+            weight.value.data_mut()[0] += 0.25;
+        }
+    }
+    let packed_out = snn.forward_tampered(&x, 3, &NoopTamper);
+    ull_obs::set_enabled(false);
+    let snap = ull_obs::snapshot();
+    assert_eq!(
+        snap.counters.get("snn.pack.builds"),
+        Some(&2),
+        "mutated weights must miss the pack cache and re-pack"
+    );
+
+    // The re-packed result must match the unpacked path on the mutated
+    // weights bit for bit — a stale pack would reproduce the old weights.
+    set_packed(Some(false));
+    let unpacked_out = snn.forward_tampered(&x, 3, &NoopTamper);
+    assert_eq!(packed_out.logits.shape(), unpacked_out.logits.shape());
+    for (p, u) in packed_out
+        .logits
+        .data()
+        .iter()
+        .zip(unpacked_out.logits.data())
+    {
+        assert_eq!(p.to_bits(), u.to_bits(), "{p} vs {u}");
+    }
+
+    ull_obs::reset();
+    set_packed(None);
+    set_sparse_cutoff(None);
+    parallel::set_threads(0);
+    clear_pack_cache();
 }

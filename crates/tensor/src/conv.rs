@@ -13,7 +13,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use crate::{matmul, matmul_transpose_a, parallel, Tensor};
+use crate::{matmul, matmul_transpose_a, parallel, PackedWeights, Tensor};
 
 /// Geometry of a 2-d convolution (square stride/padding, arbitrary kernel).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -254,6 +254,65 @@ pub fn conv2d_into(
         weight.data(),
         f,
         &mut scratch.prod,
+    );
+    if let Some(b) = bias {
+        assert_eq!(b.shape(), &[f], "conv2d: bias must have shape [F]");
+        let bd = b.data();
+        for row in scratch.prod.chunks_mut(f) {
+            for (x, &bv) in row.iter_mut().zip(bd) {
+                *x += bv;
+            }
+        }
+    }
+    rows_to_nchw_into(&scratch.prod, n, f, oh, ow, out);
+}
+
+/// [`conv2d_into`] over a weight bank packed once by
+/// [`PackedWeights::pack_conv`]. The im2col lowering and bias/NCHW epilogue
+/// are identical; only the GEMM reads the weight panels from the packed
+/// layout. Results are bit-identical to [`conv2d_into`] for every input,
+/// sparsity and thread count (each output element accumulates the same
+/// terms in the same ascending-k order — see [`crate::packed`]).
+///
+/// # Panics
+///
+/// Panics on rank or channel mismatches, or if `weight` was not packed by
+/// [`PackedWeights::pack_conv`] with a filter bank matching `geo` and the
+/// input's channel count.
+pub fn conv2d_packed_into(
+    input: &Tensor,
+    weight: &PackedWeights,
+    bias: Option<&Tensor>,
+    geo: ConvGeometry,
+    scratch: &mut ConvScratch,
+    out: &mut Tensor,
+) {
+    let [n, c, h, w] = dims4(input, "conv2d input");
+    let [f, wc, kh, kw] = weight
+        .conv_dims()
+        .expect("conv2d_packed_into needs a pack_conv-packed weight bank");
+    assert_eq!(
+        c, wc,
+        "conv2d: input has {c} channels but weight expects {wc}"
+    );
+    assert_eq!(
+        (kh, kw),
+        (geo.kh, geo.kw),
+        "conv2d: weight kernel disagrees with geometry"
+    );
+    let _span = ull_obs::span("tensor.conv2d");
+    let (oh, ow) = geo.output_hw(h, w);
+    let (rows, ckk) = im2col_into(input, geo, &mut scratch.cols);
+    debug_assert_eq!(ckk, weight.reduction_len());
+    scratch.prod.clear();
+    scratch.prod.resize(rows * f, 0.0);
+    // [N·OH·OW, CKK] x packed [F, CKK]ᵀ -> [N·OH·OW, F]
+    crate::packed::packed_gemm_raw(
+        &scratch.cols,
+        rows,
+        weight,
+        &mut scratch.prod,
+        "tensor.matmul_tb_packed",
     );
     if let Some(b) = bias {
         assert_eq!(b.shape(), &[f], "conv2d: bias must have shape [F]");
@@ -547,6 +606,41 @@ mod tests {
         assert_eq!(rows.shape(), &[8, 3]);
         let back = rows_to_nchw(&rows, 2, 3, 2, 2);
         assert_close(&back, &t, 0.0);
+    }
+
+    #[test]
+    fn packed_conv_is_bit_identical_to_unpacked() {
+        let x = seq_tensor(&[2, 3, 6, 6]);
+        let w = seq_tensor(&[5, 3, 3, 3]);
+        let b = Tensor::from_slice(&[0.5, -0.25, 1.0, 0.0, -1.5]);
+        for geo in [ConvGeometry::square(3, 1, 1), ConvGeometry::square(3, 2, 0)] {
+            let want = conv2d(&x, &w, Some(&b), geo);
+            let packed = PackedWeights::pack_conv(&w);
+            let mut scratch = ConvScratch::default();
+            let mut got = Tensor::default();
+            conv2d_packed_into(&x, &packed, Some(&b), geo, &mut scratch, &mut got);
+            assert_eq!(got.shape(), want.shape());
+            for (a, e) in got.data().iter().zip(want.data()) {
+                assert_eq!(a.to_bits(), e.to_bits(), "{a} vs {e}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "channels")]
+    fn packed_channel_mismatch_panics() {
+        let x = Tensor::zeros(&[1, 3, 4, 4]);
+        let w = PackedWeights::pack_conv(&Tensor::zeros(&[2, 4, 3, 3]));
+        let mut scratch = ConvScratch::default();
+        let mut out = Tensor::default();
+        conv2d_packed_into(
+            &x,
+            &w,
+            None,
+            ConvGeometry::square(3, 1, 1),
+            &mut scratch,
+            &mut out,
+        );
     }
 
     #[test]

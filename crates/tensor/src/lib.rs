@@ -10,6 +10,8 @@
 //! * 2-d convolution via im2col with full backward passes ([`conv`])
 //! * event-driven sparse kernels over compact spike batches ([`events`]),
 //!   bit-identical to the dense path but scaling with activity
+//! * weight-stationary packed dense kernels ([`packed`]) — weights laid out
+//!   once per network, bit-identical to the unpacked kernels
 
 //! * max / average pooling with backward passes ([`pool`])
 //! * reductions, softmax, and clipping (the threshold-ReLU of Eq. 1)
@@ -48,6 +50,7 @@ pub mod conv;
 pub mod events;
 pub mod init;
 pub mod matmul;
+pub mod packed;
 pub mod parallel;
 pub mod pool;
 pub mod stats;
@@ -55,6 +58,10 @@ pub mod stats;
 pub use error::TensorError;
 pub use events::{conv2d_events, matmul_tb_events, scan_uniform_density, SpikeBatch};
 pub use matmul::{matmul, matmul_transpose_a, matmul_transpose_b, matmul_transpose_b_into};
+pub use packed::{
+    matmul_packed, matmul_tb_packed, matmul_tb_packed_into, packed_enabled, set_packed,
+    tensor_fingerprint, PackLayout, PackedWeights,
+};
 pub use tensor::Tensor;
 
 /// Convenience alias for results returned by fallible tensor constructors.

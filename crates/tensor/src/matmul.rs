@@ -30,7 +30,7 @@ use crate::Tensor;
 /// Rows per parallel work item: ~4 blocks per worker balances load without
 /// making the chunk queue hot. Block size never affects results — each
 /// output row is accumulated independently in serial order.
-fn row_block(rows: usize) -> usize {
+pub(crate) fn row_block(rows: usize) -> usize {
     rows.div_ceil(parallel::num_threads().saturating_mul(4).max(1))
         .max(1)
 }

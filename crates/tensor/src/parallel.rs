@@ -64,19 +64,66 @@ static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
 /// not retune the pool (the override exists for that).
 static ENV_THREADS: OnceLock<Option<usize>> = OnceLock::new();
 
+/// Parses one `ULL_THREADS` value. `Err` carries the reason the value was
+/// rejected (not an integer, empty, or zero — zero workers is meaningless;
+/// `1` is the serial fallback).
+fn parse_threads(raw: &str) -> Result<usize, String> {
+    let trimmed = raw.trim();
+    if trimmed.is_empty() {
+        return Err("empty value".to_string());
+    }
+    match trimmed.parse::<usize>() {
+        Ok(0) => Err("0 workers is not meaningful (use 1 for serial)".to_string()),
+        Ok(n) => Ok(n),
+        Err(_) => Err(format!("`{raw}` is not a positive integer")),
+    }
+}
+
+/// Resolves an environment-supplied thread count: well-formed values are
+/// used, malformed values (`abc`, `0`, whitespace) warn once on stderr and
+/// fall back to the default resolution (`None`) instead of being silently
+/// dropped — mirroring the `ULL_SPARSE_CUTOFF` handling in `ull-snn`.
+fn resolve_env_threads(raw: Option<&str>) -> Option<usize> {
+    match raw {
+        None => None,
+        Some(s) => match parse_threads(s) {
+            Ok(n) => Some(n),
+            Err(why) => {
+                eprintln!(
+                    "warning: ignoring malformed ULL_THREADS ({why}); \
+                     using available parallelism"
+                );
+                None
+            }
+        },
+    }
+}
+
 fn env_threads() -> Option<usize> {
-    *ENV_THREADS.get_or_init(|| {
-        std::env::var("ULL_THREADS")
-            .ok()
-            .and_then(|s| s.trim().parse::<usize>().ok())
-            .filter(|&n| n > 0)
+    *ENV_THREADS.get_or_init(|| resolve_env_threads(std::env::var("ULL_THREADS").ok().as_deref()))
+}
+
+/// [`std::thread::available_parallelism`] resolved once per process. The
+/// OS query sits on the resolution path of every kernel call; caching it
+/// keeps `num_threads` to two atomic loads on the hot path. The count a
+/// process observes is therefore stable even if the OS would report a
+/// different value later (cgroup resize, CPU hotplug) — acceptable, since
+/// the pool's sizing is a performance hint, never a correctness input.
+static DEFAULT_THREADS: OnceLock<usize> = OnceLock::new();
+
+fn default_threads() -> usize {
+    *DEFAULT_THREADS.get_or_init(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
     })
 }
 
 /// The worker count every parallel entry point will use.
 ///
 /// Resolution order: [`set_threads`] override → `ULL_THREADS` environment
-/// variable → [`std::thread::available_parallelism`] → 1.
+/// variable (malformed values warn once and are ignored) →
+/// [`std::thread::available_parallelism`] (queried once, then cached) → 1.
 pub fn num_threads() -> usize {
     let o = THREAD_OVERRIDE.load(Ordering::Relaxed);
     if o > 0 {
@@ -85,9 +132,7 @@ pub fn num_threads() -> usize {
     if let Some(n) = env_threads() {
         return n;
     }
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
+    default_threads()
 }
 
 /// Overrides the worker count process-wide; `set_threads(0)` restores the
@@ -277,6 +322,51 @@ mod tests {
         seen.extend(ids);
         assert!(seen.iter().all(|&id| id == caller));
         set_threads(0);
+    }
+
+    #[test]
+    fn well_formed_thread_counts_parse() {
+        assert_eq!(parse_threads("1"), Ok(1));
+        assert_eq!(parse_threads(" 4 "), Ok(4), "whitespace is trimmed");
+        assert_eq!(resolve_env_threads(Some("3")), Some(3));
+        assert_eq!(resolve_env_threads(None), None);
+    }
+
+    #[test]
+    fn malformed_thread_counts_warn_and_default() {
+        // Regression: these used to be silently dropped by a
+        // `.parse().ok()` chain, so `ULL_THREADS=abc` behaved exactly like
+        // an unset variable with no hint to the operator. The resolution
+        // layer must reject each one (warning once) and fall back.
+        assert!(parse_threads("abc").is_err());
+        assert!(parse_threads("0").is_err(), "0 workers is meaningless");
+        assert!(parse_threads("").is_err());
+        assert!(parse_threads("  ").is_err());
+        assert!(parse_threads("-2").is_err());
+        assert!(parse_threads("2.5").is_err());
+        for bad in ["abc", "0", "", "  ", "-2", "2.5", "4x"] {
+            assert_eq!(resolve_env_threads(Some(bad)), None, "input {bad:?}");
+        }
+    }
+
+    #[test]
+    fn resolved_default_thread_count_is_cached_and_stable() {
+        // Regression: `num_threads` used to re-query
+        // `available_parallelism` on every call — a per-kernel-call OS
+        // query on the hot path. The resolved count must now come from the
+        // `OnceLock` cache: positive and identical on every call.
+        let first = default_threads();
+        assert!(first >= 1);
+        for _ in 0..1000 {
+            assert_eq!(default_threads(), first);
+        }
+        // And the full resolution chain stays stable too.
+        let _guard = override_lock();
+        set_threads(0);
+        let resolved = num_threads();
+        for _ in 0..100 {
+            assert_eq!(num_threads(), resolved);
+        }
     }
 
     #[test]
