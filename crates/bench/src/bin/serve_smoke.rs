@@ -13,13 +13,14 @@
 //! wraps it for CI.
 
 use std::io::Write as _;
-use std::net::{SocketAddr, TcpStream};
+use std::net::SocketAddr;
 use std::path::PathBuf;
 
 use ull_data::{generate, SynthCifarConfig};
 use ull_nn::models;
 use ull_serve::{
-    read_frame, write_frame, Engine, ReplicaSpec, Reply, Request, ServeConfig, Server,
+    connect_with_retry, read_frame, write_frame, Engine, ReplicaSpec, Reply, Request, RetryPolicy,
+    ServeConfig, Server,
 };
 use ull_snn::{SnnNetwork, SpikeSpec};
 
@@ -43,7 +44,7 @@ fn workspace_root() -> PathBuf {
 }
 
 fn request_reply(addr: SocketAddr, payload: &[u8]) -> Reply {
-    let mut conn = TcpStream::connect(addr).expect("connect");
+    let mut conn = connect_with_retry(addr, &RetryPolicy::default()).expect("connect");
     write_frame(&mut conn, payload).expect("send frame");
     let bytes = read_frame(&mut conn).expect("read reply");
     serde_json::from_str(&String::from_utf8(bytes).expect("utf-8")).expect("typed reply")
@@ -93,7 +94,7 @@ fn main() {
         .map(|c| {
             let images = images.clone();
             std::thread::spawn(move || {
-                let mut conn = TcpStream::connect(addr).expect("connect");
+                let mut conn = connect_with_retry(addr, &RetryPolicy::default()).expect("connect");
                 let mut got = 0usize;
                 let per_conn = VALID / 4 + usize::from(c < VALID % 4);
                 for i in 0..per_conn {
@@ -201,7 +202,7 @@ fn main() {
     // Oversized frame: rejected before allocation, connection closed.
     {
         use std::io::Read as _;
-        let mut conn = TcpStream::connect(addr).expect("connect");
+        let mut conn = connect_with_retry(addr, &RetryPolicy::default()).expect("connect");
         conn.write_all(&(2u32 << 30).to_be_bytes())
             .expect("send prefix");
         conn.flush().unwrap();

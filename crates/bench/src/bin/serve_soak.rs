@@ -42,7 +42,7 @@ use ull_robust::{
     RateEnvelope,
 };
 use ull_serve::{
-    BreakerState, Engine, ReplicaSpec, Reply, Request, RungLabel, ServeConfig, ServeEvent, Server,
+    BatchEvent, BreakerState, Engine, ReplicaSpec, Reply, Request, RungLabel, ServeConfig, Server,
 };
 use ull_snn::{SnnNetwork, SpikeSpec};
 use ull_tensor::init::seeded_rng;
@@ -80,7 +80,7 @@ struct SoakReport {
     post_trip_batches: usize,
     post_trip_on_fallback: usize,
     thread_invariant: bool,
-    timeline: Vec<ServeEvent>,
+    timeline: Vec<BatchEvent>,
     counters: std::collections::BTreeMap<String, u64>,
 }
 
@@ -333,7 +333,12 @@ fn main() {
         );
     }
     let faulted = drive_phase(&server, &set, WAVES_PER_PHASE);
-    let timeline = server.engine().take_events();
+    let timeline: Vec<BatchEvent> = server
+        .engine()
+        .take_events()
+        .into_iter()
+        .filter_map(|e| e.batch().cloned())
+        .collect();
     let trips = server.engine().breaker_trips();
     println!(
         "faulted: {}/{} predictions, acc {:.1} %, p99 {} ms, {} breaker trips",
@@ -348,7 +353,7 @@ fn main() {
         .iter()
         .position(|e| e.breaker_states[0] == BreakerState::Open);
     let batches_to_trip = first_open.map(|i| i + 1).unwrap_or(usize::MAX);
-    let post_trip: Vec<&ServeEvent> = match first_open {
+    let post_trip: Vec<&BatchEvent> = match first_open {
         Some(i) => timeline[i..].iter().collect(),
         None => Vec::new(),
     };

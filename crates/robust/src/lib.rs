@@ -65,4 +65,4 @@ pub use faults::{
     evaluate_faulted, flip_dnn_weight_bits, FaultConfig, FaultedNetwork, InferenceFault,
 };
 pub use sweep::{resilience_sweep, DnnSweepCell, SweepCell, SweepConfig, SweepReport};
-pub use watchdog::{profile_envelope, RateEnvelope, RateViolation};
+pub use watchdog::{profile_envelope, profile_envelope_batches, RateEnvelope, RateViolation};

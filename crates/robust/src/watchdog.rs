@@ -112,11 +112,32 @@ pub fn profile_envelope(
     rel_margin: f64,
     abs_margin: f64,
 ) -> RateEnvelope {
+    let batches: Vec<ull_tensor::Tensor> =
+        data.eval_batches(batch_size).map(|b| b.images).collect();
+    profile_envelope_batches(snn, &batches, t, rel_margin, abs_margin)
+}
+
+/// [`profile_envelope`] over caller-assembled calibration batches instead
+/// of a [`Dataset`]. The envelope is the elementwise min/max over the
+/// given batches, so callers control the batch-size spread it captures —
+/// a serving-side profiler passes batches shaped like live traffic
+/// (e.g. every size its dynamic batcher can assemble).
+///
+/// # Panics
+///
+/// Panics if `batches` is empty.
+pub fn profile_envelope_batches(
+    snn: &SnnNetwork,
+    batches: &[ull_tensor::Tensor],
+    t: usize,
+    rel_margin: f64,
+    abs_margin: f64,
+) -> RateEnvelope {
     let _span = ull_obs::span("robust.watchdog.profile");
     let mut min: Option<Vec<f64>> = None;
     let mut max: Option<Vec<f64>> = None;
-    for batch in data.eval_batches(batch_size) {
-        let report = snn.forward(&batch.images, t).stats.report();
+    for images in batches {
+        let report = snn.forward(images, t).stats.report();
         match (&mut min, &mut max) {
             (Some(lo), Some(hi)) => {
                 for (slot, &r) in lo.iter_mut().zip(&report.spike_rate) {
@@ -132,8 +153,8 @@ pub fn profile_envelope(
             }
         }
     }
-    let min = min.expect("dataset has no evaluation batches");
-    let max = max.expect("dataset has no evaluation batches");
+    let min = min.expect("no calibration batches to profile");
+    let max = max.expect("no calibration batches to profile");
     RateEnvelope {
         min,
         max,
@@ -228,6 +249,15 @@ mod tests {
             !envelope.is_healthy(&saturated_report),
             "all-saturated run must flag"
         );
+    }
+
+    #[test]
+    fn batch_slice_profiling_matches_dataset_profiling() {
+        let (snn, data) = setup();
+        let from_dataset = profile_envelope(&snn, &data, 2, 8, 0.5, 0.05);
+        let batches: Vec<ull_tensor::Tensor> = data.eval_batches(8).map(|b| b.images).collect();
+        let from_batches = profile_envelope_batches(&snn, &batches, 2, 0.5, 0.05);
+        assert_eq!(from_dataset, from_batches);
     }
 
     #[test]

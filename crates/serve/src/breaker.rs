@@ -145,6 +145,20 @@ impl CircuitBreaker {
         ull_obs::counter_add("serve.breaker_trips", 1);
     }
 
+    /// Returns the breaker to a pristine `Closed` state, clearing the
+    /// excursion streak, the backoff streak and the quarantine clock
+    /// (lifetime trips are kept — they are a counter, not state).
+    ///
+    /// Used when the replica behind the breaker is *replaced* (model
+    /// promotion): the new model must not inherit the old model's
+    /// excursion history.
+    pub fn reset(&mut self) {
+        self.state = BreakerState::Closed;
+        self.consecutive = 0;
+        self.open_streak = 0;
+        self.reopen_at_ms = 0;
+    }
+
     /// Jittered exponential quarantine for the given re-open streak:
     /// `base · 2^(streak-1)` capped at `max`, scaled by a deterministic
     /// jitter factor in `[0.5, 1.0]`.
@@ -235,6 +249,67 @@ mod tests {
         assert!(!b.allow(302 + 174));
         assert!(b.allow(302 + 350));
         assert_eq!(b.trips(), 3);
+    }
+
+    #[test]
+    fn half_open_boundary_is_exact_and_admits_exactly_one_probe() {
+        // Injected clock: every boundary below is asserted to the exact
+        // millisecond, no sleeps anywhere.
+        let mut b = CircuitBreaker::new(1, 100, 100_000, 42);
+        let q1 = b.quarantine_ms(1);
+        b.record(false, 1_000); // trip at t=1000
+        assert!(!b.allow(1_000 + q1 - 1), "one ms early: still Open");
+        assert_eq!(b.state(), BreakerState::Open);
+        assert!(
+            b.allow(1_000 + q1),
+            "exactly at the boundary: probe admitted"
+        );
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        // While the probe is in flight, everyone else is turned away —
+        // no matter how often or how late they ask.
+        for dt in [0, 1, 10, 10_000] {
+            assert!(!b.allow(1_000 + q1 + dt), "second probe at +{dt} must wait");
+        }
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+    }
+
+    #[test]
+    fn failed_probe_doubles_the_quarantine_exactly() {
+        let mut b = CircuitBreaker::new(1, 100, 1 << 40, 7);
+        let (q1, q2, q3) = (b.quarantine_ms(1), b.quarantine_ms(2), b.quarantine_ms(3));
+        // Jitter aside, consecutive streaks double the un-jittered
+        // exponent, so q_{n+1} lands in [q_n, 4·q_n]; check the exact
+        // reopen boundaries instead of sleeping through them.
+        b.record(false, 0); // trip 1
+        assert!(b.allow(q1));
+        b.record(false, q1); // failed probe → trip 2
+        assert!(!b.allow(q1 + q2 - 1));
+        assert!(b.allow(q1 + q2));
+        b.record(false, q1 + q2); // failed probe → trip 3
+        assert!(!b.allow(q1 + q2 + q3 - 1));
+        assert!(b.allow(q1 + q2 + q3));
+        assert_eq!(b.trips(), 3);
+        // The un-jittered exponent doubles: 100, 200, 400 scaled by
+        // per-streak jitter in [0.5, 1.0).
+        assert!((100..=200).contains(&q2), "q2={q2}");
+        assert!((200..=400).contains(&q3), "q3={q3}");
+    }
+
+    #[test]
+    fn reset_clears_state_and_backoff_but_keeps_trip_count() {
+        let mut b = CircuitBreaker::new(1, 100, 1 << 40, 5);
+        b.record(false, 0);
+        assert!(b.allow(100));
+        b.record(false, 101); // failed probe: open_streak now 2
+        assert_eq!(b.state(), BreakerState::Open);
+        b.reset();
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert!(b.allow(102), "reset breaker admits immediately");
+        assert_eq!(b.trips(), 2, "lifetime trips survive reset");
+        // The backoff streak restarted: the next trip quarantines on the
+        // base scale, not the doubled one.
+        b.record(false, 200);
+        assert!(b.allow(200 + b.quarantine_ms(1)));
     }
 
     #[test]

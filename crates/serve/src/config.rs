@@ -6,6 +6,112 @@
 
 use serde::{Deserialize, Serialize};
 
+/// Tunables for the model-lifecycle subsystem (`lifecycle.rs`): manifest
+/// polling, deterministic canary, promotion gates and quarantine.
+///
+/// The lifecycle is **disabled** unless `model_dir` is set — the default
+/// config serves exactly like a pre-lifecycle build.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LifecycleConfig {
+    /// Directory polled for the reload manifest (`ULL_MODEL_DIR`).
+    /// `None` disables the lifecycle entirely.
+    pub model_dir: Option<String>,
+    /// Poll the manifest every N executed batches. Batch-serial driven —
+    /// never wall-clock — so reload timing is reproducible for a given
+    /// traffic sequence.
+    pub poll_every_batches: u64,
+    /// Fraction of batches mirrored to the candidate during canary,
+    /// chosen by `mix64` over the batch serial.
+    pub canary_fraction: f64,
+    /// Canary batches required before the candidate may be promoted.
+    pub canary_min_batches: usize,
+    /// Sliding window (in canary batches) over which top-1 agreement is
+    /// measured.
+    pub canary_window: usize,
+    /// Cumulative candidate watchdog excursions that trigger rollback
+    /// (the K of the acceptance gate).
+    pub excursion_limit: usize,
+    /// Minimum windowed top-1 agreement with the incumbent required for
+    /// promotion; measured agreement below this at the promotion gate
+    /// triggers rollback instead.
+    pub agreement_threshold: f64,
+    /// Replica index the candidate is promoted into (fallback replicas
+    /// keep the boot model as a known-good reserve).
+    pub target_replica: usize,
+    /// Seed for deterministic canary batch assignment.
+    pub canary_seed: u64,
+    /// Relative slack of the candidate envelope profiled at validation.
+    pub envelope_rel_margin: f64,
+    /// Absolute slack of the candidate envelope profiled at validation.
+    pub envelope_abs_margin: f64,
+}
+
+impl Default for LifecycleConfig {
+    fn default() -> Self {
+        LifecycleConfig {
+            model_dir: None,
+            poll_every_batches: 8,
+            canary_fraction: 0.5,
+            canary_min_batches: 12,
+            canary_window: 12,
+            excursion_limit: 3,
+            agreement_threshold: 0.9,
+            target_replica: 0,
+            canary_seed: 0xca9a_2100,
+            envelope_rel_margin: 0.5,
+            envelope_abs_margin: 0.05,
+        }
+    }
+}
+
+impl LifecycleConfig {
+    /// Default config with `model_dir` taken from `ULL_MODEL_DIR` (the
+    /// lifecycle stays disabled when the variable is unset or empty).
+    pub fn from_env() -> Self {
+        let model_dir = std::env::var("ULL_MODEL_DIR")
+            .ok()
+            .filter(|v| !v.trim().is_empty());
+        LifecycleConfig {
+            model_dir,
+            ..LifecycleConfig::default()
+        }
+    }
+
+    /// Whether the lifecycle subsystem is armed.
+    pub fn enabled(&self) -> bool {
+        self.model_dir.is_some()
+    }
+
+    /// Appends any internal inconsistencies to `problems` (only checked
+    /// when the lifecycle is enabled).
+    pub(crate) fn validate_into(&self, problems: &mut Vec<String>) {
+        if !self.enabled() {
+            return;
+        }
+        if self.poll_every_batches == 0 {
+            problems.push("lifecycle.poll_every_batches must be at least 1".to_string());
+        }
+        if !(self.canary_fraction > 0.0 && self.canary_fraction <= 1.0) {
+            problems.push(format!(
+                "lifecycle.canary_fraction must be in (0, 1], got {}",
+                self.canary_fraction
+            ));
+        }
+        if self.canary_min_batches == 0 || self.canary_window == 0 {
+            problems.push("lifecycle canary batches/window must be at least 1".to_string());
+        }
+        if self.excursion_limit == 0 {
+            problems.push("lifecycle.excursion_limit must be at least 1".to_string());
+        }
+        if !(0.0..=1.0).contains(&self.agreement_threshold) {
+            problems.push(format!(
+                "lifecycle.agreement_threshold must be in [0, 1], got {}",
+                self.agreement_threshold
+            ));
+        }
+    }
+}
+
 /// Tunables for the admission queue, batcher, degradation ladder,
 /// circuit breaker and drain behaviour.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -53,6 +159,11 @@ pub struct ServeConfig {
     /// used by the soak/smoke harnesses to force queue build-up
     /// deterministically. Zero in production.
     pub chaos_execute_delay_ms: u64,
+    /// Model-lifecycle subsystem (hot-reload, canary, auto-rollback).
+    /// Defaults to disabled, which serves exactly like a
+    /// pre-lifecycle build.
+    #[serde(default)]
+    pub lifecycle: LifecycleConfig,
 }
 
 impl Default for ServeConfig {
@@ -75,6 +186,7 @@ impl Default for ServeConfig {
             backoff_max_ms: 10_000,
             backoff_seed: 0x5e12_7e00,
             chaos_execute_delay_ms: 0,
+            lifecycle: LifecycleConfig::default(),
         }
     }
 }
@@ -119,6 +231,7 @@ impl ServeConfig {
                 self.backoff_base_ms, self.backoff_max_ms
             ));
         }
+        self.lifecycle.validate_into(&mut problems);
         if problems.is_empty() {
             Ok(())
         } else {
@@ -159,9 +272,48 @@ mod tests {
 
     #[test]
     fn config_round_trips_through_json() {
-        let cfg = ServeConfig::default();
+        let cfg = ServeConfig {
+            lifecycle: LifecycleConfig {
+                model_dir: Some("/tmp/models".to_string()),
+                ..LifecycleConfig::default()
+            },
+            ..ServeConfig::default()
+        };
         let json = serde_json::to_string(&cfg).unwrap();
         let back: ServeConfig = serde_json::from_str(&json).unwrap();
         assert_eq!(cfg, back);
+    }
+
+    #[test]
+    fn legacy_config_json_without_lifecycle_block_still_parses() {
+        let json = serde_json::to_string(&ServeConfig::default()).unwrap();
+        // Simulate a pre-lifecycle config file by stripping the block.
+        let legacy = {
+            let v: serde_json::Value = serde_json::from_str(&json).unwrap();
+            match v {
+                serde_json::Value::Map(mut m) => {
+                    m.retain(|(k, _)| k != "lifecycle");
+                    serde_json::to_string(&serde_json::Value::Map(m)).unwrap()
+                }
+                _ => unreachable!("config serializes to an object"),
+            }
+        };
+        let back: ServeConfig = serde_json::from_str(&legacy).unwrap();
+        assert_eq!(back, ServeConfig::default());
+        assert!(!back.lifecycle.enabled());
+    }
+
+    #[test]
+    fn bad_lifecycle_configs_are_rejected_only_when_enabled() {
+        let mut cfg = ServeConfig::default();
+        cfg.lifecycle.canary_fraction = 0.0;
+        cfg.lifecycle.excursion_limit = 0;
+        // Disabled lifecycle: nonsense values are inert.
+        cfg.validate().unwrap();
+        cfg.lifecycle.model_dir = Some("/tmp/models".to_string());
+        let err = cfg.validate().unwrap_err();
+        for needle in ["canary_fraction", "excursion_limit"] {
+            assert!(err.contains(needle), "missing `{needle}` in: {err}");
+        }
     }
 }

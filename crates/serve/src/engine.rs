@@ -17,15 +17,26 @@
 //!    count is data-dependent);
 //! 4. feed the verdict to the replica's breaker, and on an excursion
 //!    retry the batch once on the next healthy replica so the client
-//!    sees the fallback's answer, not the corrupted one.
+//!    sees the fallback's answer, not the corrupted one;
+//! 5. hand the batch to the attached [`LifecycleManager`] (if any),
+//!    which polls the reload manifest on a batch-serial cadence and
+//!    mirrors deterministic canary batches to a candidate model.
 //!
-//! Chaos seams — an injectable per-replica panic budget and a fixed
-//! per-batch execution delay — let the soak and smoke harnesses force
-//! worker panics and queue build-up deterministically. Both are inert
-//! (and the delay is zero) unless explicitly armed.
+//! Each replica slot holds a **versioned** [`ReplicaModel`] (network +
+//! its profiled envelopes) behind an `RwLock`, so the model, its
+//! version and its watchdog envelopes swap *atomically* during a
+//! lifecycle promotion — a batch either sees the old model with the old
+//! envelopes or the new model with the new ones, never a cross of the
+//! two.
+//!
+//! Chaos seams — an injectable per-replica panic budget, a fixed
+//! per-batch execution delay, and a clock-skew knob for breaker-timing
+//! tests — let the soak and smoke harnesses force worker panics, queue
+//! build-up and quarantine expiry deterministically. All are inert
+//! unless explicitly armed.
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Mutex, RwLock};
+use std::sync::{Arc, Mutex, RwLock};
 use std::time::Instant;
 
 use serde::{Deserialize, Serialize};
@@ -35,16 +46,33 @@ use ull_tensor::Tensor;
 
 use crate::breaker::{BreakerState, CircuitBreaker};
 use crate::config::ServeConfig;
+use crate::lifecycle::{LifecycleEvent, LifecycleManager};
 use crate::protocol::RungLabel;
 
-/// One replica: a network plus the activity envelopes profiled at the
-/// two fixed-T rungs. Envelopes are optional — a replica without them
-/// is simply never watchdogged (and so never trips its breaker).
+/// One replica as supplied at engine build time: a network plus the
+/// activity envelopes profiled at the two fixed-T rungs. Envelopes are
+/// optional — a replica without them is simply never watchdogged (and
+/// so never trips its breaker). Boot replicas serve as model version 0.
 pub struct ReplicaSpec {
     /// Display name used in events and reports.
     pub name: String,
     /// The network this replica serves.
     pub net: SnnNetwork,
+    /// Spike-rate envelope profiled at `t_full` steps.
+    pub envelope_full: Option<RateEnvelope>,
+    /// Spike-rate envelope profiled at `t_reduced` steps.
+    pub envelope_reduced: Option<RateEnvelope>,
+}
+
+/// What a replica slot serves right now: the network, the model version
+/// it came from, and the envelopes profiled *for this model*. The whole
+/// struct swaps atomically on promotion so watchdog verdicts are always
+/// computed against the envelopes of the model that produced the batch.
+pub struct ReplicaModel {
+    /// The network being served.
+    pub net: SnnNetwork,
+    /// Monotone model version (0 = the boot model).
+    pub version: u64,
     /// Spike-rate envelope profiled at `t_full` steps.
     pub envelope_full: Option<RateEnvelope>,
     /// Spike-rate envelope profiled at `t_reduced` steps.
@@ -63,6 +91,8 @@ pub struct BatchResult {
     pub rung: RungLabel,
     /// Index of the replica whose answer is returned.
     pub replica: usize,
+    /// Model version served by that replica.
+    pub version: u64,
     /// Watchdog verdict for the returned answer (`true` when the rung
     /// is not watchdogged).
     pub healthy: bool,
@@ -70,10 +100,9 @@ pub struct BatchResult {
     pub retried_on_fallback: bool,
 }
 
-/// One entry in the engine's event log — the soak harness turns these
-/// into the failover timeline.
+/// One executed batch in the engine's event log.
 #[derive(Debug, Clone, Serialize, Deserialize)]
-pub struct ServeEvent {
+pub struct BatchEvent {
     /// Monotone batch sequence number.
     pub seq: u64,
     /// Milliseconds since the engine was built.
@@ -82,6 +111,8 @@ pub struct ServeEvent {
     pub rung: RungLabel,
     /// Replica that produced the returned answer.
     pub replica: usize,
+    /// Model version that replica was serving.
+    pub version: u64,
     /// Watchdog verdict of the returned answer.
     pub healthy: bool,
     /// Whether a fallback retry produced the returned answer.
@@ -90,14 +121,42 @@ pub struct ServeEvent {
     pub breaker_states: Vec<BreakerState>,
 }
 
-/// Internal replica slot: the network sits behind an `RwLock` so the
-/// soak harness can corrupt it mid-run ([`Engine::chaos_swap_net`])
-/// while workers keep serving.
+/// One entry in the engine's event log — the soak and lifecycle
+/// harnesses turn these into failover / reload timelines.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum ServeEvent {
+    /// A batch was executed.
+    Batch(BatchEvent),
+    /// The model lifecycle changed state (canary, promote, rollback,
+    /// quarantine).
+    Lifecycle(LifecycleEvent),
+}
+
+impl ServeEvent {
+    /// The batch payload, if this is a batch event.
+    pub fn batch(&self) -> Option<&BatchEvent> {
+        match self {
+            ServeEvent::Batch(b) => Some(b),
+            ServeEvent::Lifecycle(_) => None,
+        }
+    }
+
+    /// The lifecycle payload, if this is a lifecycle event.
+    pub fn lifecycle(&self) -> Option<&LifecycleEvent> {
+        match self {
+            ServeEvent::Batch(_) => None,
+            ServeEvent::Lifecycle(l) => Some(l),
+        }
+    }
+}
+
+/// Internal replica slot: the served model sits behind an `RwLock` so a
+/// lifecycle promotion ([`Engine::swap_model`]) or the soak harness's
+/// corruption seam ([`Engine::chaos_swap_net`]) can replace it while
+/// workers keep serving.
 struct ReplicaSlot {
     name: String,
-    net: RwLock<SnnNetwork>,
-    envelope_full: Option<RateEnvelope>,
-    envelope_reduced: Option<RateEnvelope>,
+    model: RwLock<ReplicaModel>,
 }
 
 /// Replica pool + breakers + chaos seams. Shared across worker threads
@@ -111,6 +170,8 @@ pub struct Engine {
     seq: AtomicU64,
     events: Mutex<Vec<ServeEvent>>,
     started: Instant,
+    clock_skew_ms: AtomicU64,
+    lifecycle: Mutex<Option<Arc<LifecycleManager>>>,
 }
 
 impl Engine {
@@ -151,9 +212,12 @@ impl Engine {
                 r.net.prepack();
                 ReplicaSlot {
                     name: r.name,
-                    net: RwLock::new(r.net),
-                    envelope_full: r.envelope_full,
-                    envelope_reduced: r.envelope_reduced,
+                    model: RwLock::new(ReplicaModel {
+                        net: r.net,
+                        version: 0,
+                        envelope_full: r.envelope_full,
+                        envelope_reduced: r.envelope_reduced,
+                    }),
                 }
             })
             .collect();
@@ -166,6 +230,8 @@ impl Engine {
             seq: AtomicU64::new(0),
             events: Mutex::new(Vec::new()),
             started: Instant::now(),
+            clock_skew_ms: AtomicU64::new(0),
+            lifecycle: Mutex::new(None),
         }
     }
 
@@ -174,9 +240,25 @@ impl Engine {
         &self.cfg
     }
 
-    /// Milliseconds since the engine was built (the breaker clock).
+    /// Milliseconds since the engine was built (the breaker clock),
+    /// plus any chaos skew from [`chaos_advance_clock`].
+    ///
+    /// [`chaos_advance_clock`]: Self::chaos_advance_clock
     pub fn now_ms(&self) -> u64 {
-        self.started.elapsed().as_millis() as u64
+        self.started.elapsed().as_millis() as u64 + self.clock_skew_ms.load(Ordering::SeqCst)
+    }
+
+    /// Chaos seam: advance the breaker/lifecycle clock by `ms` without
+    /// sleeping — how tests walk a quarantined breaker to its half-open
+    /// boundary deterministically.
+    pub fn chaos_advance_clock(&self, ms: u64) {
+        self.clock_skew_ms.fetch_add(ms, Ordering::SeqCst);
+    }
+
+    /// Attaches the model-lifecycle manager. Subsequent batches feed it
+    /// (manifest polling, canary mirroring) after execution.
+    pub fn attach_lifecycle(&self, mgr: Arc<LifecycleManager>) {
+        *self.lifecycle.lock().unwrap_or_else(|e| e.into_inner()) = Some(mgr);
     }
 
     /// Current breaker state per replica.
@@ -197,10 +279,27 @@ impl Engine {
         self.replicas.iter().map(|r| r.name.clone()).collect()
     }
 
+    /// Model version currently served by `replica`.
+    pub fn serving_version(&self, replica: usize) -> u64 {
+        self.replicas[replica]
+            .model
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .version
+    }
+
     /// Drains the event log (the soak harness calls this once at the
     /// end; incremental callers get only the events since last drain).
     pub fn take_events(&self) -> Vec<ServeEvent> {
         std::mem::take(&mut *self.events.lock().unwrap_or_else(|e| e.into_inner()))
+    }
+
+    /// Appends a lifecycle transition to the event log.
+    pub(crate) fn push_lifecycle_event(&self, event: LifecycleEvent) {
+        self.events
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(ServeEvent::Lifecycle(event));
     }
 
     /// Chaos seam: arm `count` injected panics on `replica`. Each of
@@ -212,22 +311,58 @@ impl Engine {
 
     /// Chaos seam: atomically replace a replica's network while the
     /// server keeps running — the soak harness's "hardware goes bad
-    /// mid-run" event. In-flight batches finish on whichever network
-    /// they read first; later batches see the replacement.
+    /// mid-run" event. The slot's version and envelopes are *kept* (the
+    /// point is to serve corrupted weights against the old model's
+    /// envelopes so the watchdog can catch them). In-flight batches
+    /// finish on whichever network they read first; later batches see
+    /// the replacement.
     pub fn chaos_swap_net(&self, replica: usize, net: SnnNetwork) {
         // Re-pack eagerly: the swapped weights have a new fingerprint, so
         // without this the first post-swap batch would pay the packing
         // cost inside the request path.
         net.prepack();
-        *self.replicas[replica]
-            .net
+        self.replicas[replica]
+            .model
             .write()
-            .unwrap_or_else(|e| e.into_inner()) = net;
+            .unwrap_or_else(|e| e.into_inner())
+            .net = net;
     }
 
-    /// Executes one batch at `rung`, with watchdog + breaker + failover.
+    /// Atomically replaces the whole served model of `replica` —
+    /// network, version and envelopes together — returning the previous
+    /// model (the lifecycle keeps it as the rollback target until the
+    /// swap is verified). The replica's breaker is reset: the new model
+    /// must not inherit the old model's excursion history.
+    pub fn swap_model(&self, replica: usize, model: ReplicaModel) -> ReplicaModel {
+        model.net.prepack();
+        let old = {
+            let mut slot = self.replicas[replica]
+                .model
+                .write()
+                .unwrap_or_else(|e| e.into_inner());
+            std::mem::replace(&mut *slot, model)
+        };
+        lock_breaker(&self.breakers[replica]).reset();
+        old
+    }
+
+    /// Runs `x` for `t` steps on whatever model `replica` is serving
+    /// right now, without watchdog, breaker or event bookkeeping — the
+    /// lifecycle's post-swap verification path.
+    pub fn forward_serving(&self, replica: usize, x: &Tensor, t: usize) -> Tensor {
+        let model = self.replicas[replica]
+            .model
+            .read()
+            .unwrap_or_else(|e| e.into_inner());
+        model.net.forward(x, t).logits
+    }
+
+    /// Executes one batch at `rung`, with watchdog + breaker + failover
+    /// and (when a lifecycle is attached) manifest polling + canary
+    /// mirroring.
     pub fn execute(&self, x: &Tensor, rung: RungLabel) -> BatchResult {
         let _span = ull_obs::span("serve.batch");
+        ull_obs::counter_add("serve.batches", 1);
         let seq = self.seq.fetch_add(1, Ordering::SeqCst);
         if self.cfg.chaos_execute_delay_ms > 0 {
             std::thread::sleep(std::time::Duration::from_millis(
@@ -237,7 +372,7 @@ impl Engine {
 
         let now = self.now_ms();
         let primary = self.route(now);
-        let (logits, steps, healthy) = self.run_on(primary, x, rung);
+        let (logits, steps, version, healthy) = self.run_on(primary, x, rung);
         lock_breaker(&self.breakers[primary]).record(healthy, self.now_ms());
 
         let mut result = BatchResult {
@@ -245,19 +380,21 @@ impl Engine {
             steps,
             rung,
             replica: primary,
+            version,
             healthy,
             retried_on_fallback: false,
         };
         if !healthy {
             if let Some(fb) = self.fallback_after(primary) {
                 ull_obs::counter_add("serve.retried", 1);
-                let (logits, steps, fb_healthy) = self.run_on(fb, x, rung);
+                let (logits, steps, fb_version, fb_healthy) = self.run_on(fb, x, rung);
                 lock_breaker(&self.breakers[fb]).record(fb_healthy, self.now_ms());
                 result = BatchResult {
                     logits,
                     steps,
                     rung,
                     replica: fb,
+                    version: fb_version,
                     healthy: fb_healthy,
                     retried_on_fallback: true,
                 };
@@ -265,11 +402,12 @@ impl Engine {
         }
 
         ull_obs::counter_add(rung_counter(rung), 1);
-        let event = ServeEvent {
+        let event = BatchEvent {
             seq,
             at_ms: self.now_ms(),
             rung,
             replica: result.replica,
+            version: result.version,
             healthy: result.healthy,
             retried: result.retried_on_fallback,
             breaker_states: self.breaker_states(),
@@ -277,7 +415,19 @@ impl Engine {
         self.events
             .lock()
             .unwrap_or_else(|e| e.into_inner())
-            .push(event);
+            .push(ServeEvent::Batch(event));
+
+        // Lifecycle last: the client-visible answer above is already
+        // decided, so nothing the lifecycle does (poll, canary mirror,
+        // promote, rollback) can touch this batch's reply.
+        let lifecycle = self
+            .lifecycle
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone();
+        if let Some(mgr) = lifecycle {
+            mgr.after_batch(self, seq, x, &result);
+        }
         result
     }
 
@@ -303,28 +453,49 @@ impl Engine {
     }
 
     /// Runs the rung on one replica. Returns `(logits, per-row steps,
-    /// watchdog verdict)`.
-    fn run_on(&self, replica: usize, x: &Tensor, rung: RungLabel) -> (Tensor, Vec<usize>, bool) {
+    /// served model version, watchdog verdict)`.
+    fn run_on(
+        &self,
+        replica: usize,
+        x: &Tensor,
+        rung: RungLabel,
+    ) -> (Tensor, Vec<usize>, u64, bool) {
+        // Counted before the chaos panic seam so the reconciliation
+        // identity `replica_runs == batches + retried` holds even for
+        // batches that die inside an injected panic.
+        ull_obs::counter_add("serve.replica_runs", 1);
         self.maybe_panic(replica);
-        let slot = &self.replicas[replica];
-        let net = slot.net.read().unwrap_or_else(|e| e.into_inner());
+        let model = self.replicas[replica]
+            .model
+            .read()
+            .unwrap_or_else(|e| e.into_inner());
         let batch = x.shape()[0];
         match rung {
             RungLabel::Full => {
-                let out = net.forward(x, self.cfg.t_full);
-                let healthy = match &slot.envelope_full {
+                let out = model.net.forward(x, self.cfg.t_full);
+                let healthy = match &model.envelope_full {
                     Some(env) => env.check(&out.stats.report()).is_empty(),
                     None => true,
                 };
-                (out.logits, vec![self.cfg.t_full; batch], healthy)
+                (
+                    out.logits,
+                    vec![self.cfg.t_full; batch],
+                    model.version,
+                    healthy,
+                )
             }
             RungLabel::Reduced => {
-                let out = net.forward(x, self.cfg.t_reduced);
-                let healthy = match &slot.envelope_reduced {
+                let out = model.net.forward(x, self.cfg.t_reduced);
+                let healthy = match &model.envelope_reduced {
                     Some(env) => env.check(&out.stats.report()).is_empty(),
                     None => true,
                 };
-                (out.logits, vec![self.cfg.t_reduced; batch], healthy)
+                (
+                    out.logits,
+                    vec![self.cfg.t_reduced; batch],
+                    model.version,
+                    healthy,
+                )
             }
             RungLabel::Anytime => {
                 // Step counts are data-dependent here, so the fixed-T
@@ -332,8 +503,8 @@ impl Engine {
                 // and always reports healthy. Sustained corruption is
                 // still caught by the next fixed-T batch.
                 let (logits, steps) =
-                    anytime_batch(&net, x, self.schedule.as_ref(), self.cfg.t_full);
-                (logits, steps, true)
+                    anytime_batch(&model.net, x, self.schedule.as_ref(), self.cfg.t_full);
+                (logits, steps, model.version, true)
             }
         }
     }

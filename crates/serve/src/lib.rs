@@ -21,9 +21,18 @@
 //!   expired requests get typed `DeadlineExceeded` without touching a
 //!   replica;
 //! * **graceful drain**: shutdown stops admissions, flushes the queue,
-//!   and fsyncs a final [`ull_obs::MetricsSnapshot`];
+//!   and fsyncs a final [`ull_obs::MetricsSnapshot`] whose counters
+//!   [`reconcile`] audits (admitted = served + deadline_exceeded +
+//!   error_replies, and the lifecycle/canary identities);
+//! * a **zero-downtime model lifecycle** ([`lifecycle`], [`manifest`]):
+//!   a manifest polled from `ULL_MODEL_DIR` announces new checkpoint
+//!   artifacts, which are checksum-validated, envelope-profiled and
+//!   shadow-canaried on a deterministic fraction of live batches before
+//!   an atomic promote — with watchdog-driven auto-rollback and
+//!   per-version quarantine behind the breaker's backoff;
 //! * a length-prefixed JSON **wire protocol** ([`protocol`]) served
-//!   over `std::net` TCP, plus an in-process [`Client`] for tests.
+//!   over `std::net` TCP, plus an in-process [`Client`] for tests and a
+//!   race-tolerant [`connect_with_retry`] dialer ([`retry`]).
 //!
 //! Everything is instrumented through `ull-obs` (`serve.*` counters,
 //! queue-depth gauge, per-rung counters, batch spans).
@@ -35,14 +44,22 @@ pub mod breaker;
 pub mod config;
 pub mod engine;
 pub mod ladder;
+pub mod lifecycle;
+pub mod manifest;
 pub mod protocol;
+pub mod retry;
 pub mod server;
 
 pub use breaker::{BreakerState, CircuitBreaker};
-pub use config::ServeConfig;
-pub use engine::{BatchResult, Engine, ReplicaSpec, ServeEvent};
+pub use config::{LifecycleConfig, ServeConfig};
+pub use engine::{BatchEvent, BatchResult, Engine, ReplicaModel, ReplicaSpec, ServeEvent};
 pub use ladder::choose_rung;
+pub use lifecycle::{LifecycleEvent, LifecycleManager, LifecycleTransition};
+pub use manifest::{
+    parse_manifest, read_manifest, write_manifest, Manifest, ManifestError, MANIFEST_NAME,
+};
 pub use protocol::{
     read_frame, write_frame, write_reply, FrameError, Reply, Request, RungLabel, MAX_FRAME_LEN,
 };
-pub use server::{Client, Server};
+pub use retry::{connect_with_retry, retry_with_backoff, RetryPolicy};
+pub use server::{reconcile, Client, Server};

@@ -175,7 +175,9 @@ impl Server {
     }
 
     /// [`shutdown`](Self::shutdown), then persist the snapshot as JSON
-    /// with an fsync before returning it.
+    /// with an fsync before returning it. The persisted snapshot is the
+    /// one [`reconcile`] audits — a supervisor can verify after a
+    /// restart that no admitted request went unanswered.
     pub fn shutdown_to(self, path: &Path) -> std::io::Result<MetricsSnapshot> {
         let snap = self.shutdown();
         let json = serde_json::to_string_pretty(&snap)
@@ -184,6 +186,65 @@ impl Server {
         f.write_all(json.as_bytes())?;
         f.sync_all()?;
         Ok(snap)
+    }
+}
+
+/// Audits a drained server's [`MetricsSnapshot`] against the serving
+/// layer's accounting identities:
+///
+/// * every admitted request was answered exactly once:
+///   `admitted == served + deadline_exceeded + error_replies`;
+/// * every replica run is a batch or a fallback retry:
+///   `replica_runs == batches + retried`;
+/// * every canary resolved or is still running:
+///   `lifecycle.canary_started == lifecycle.promotions +
+///   lifecycle.rollbacks + lifecycle.candidate_active` (gauge).
+///
+/// Counters that never fired read as zero, so the identities hold for
+/// snapshots from servers without lifecycle or fallback traffic too.
+///
+/// # Errors
+///
+/// Each violated identity, with its numbers.
+pub fn reconcile(snap: &MetricsSnapshot) -> Result<(), String> {
+    let c = |name: &str| snap.counters.get(name).copied().unwrap_or(0);
+    let g = |name: &str| snap.gauges.get(name).copied().unwrap_or(0);
+    let mut problems = Vec::new();
+    let admitted = c("serve.admitted");
+    let answered = c("serve.served") + c("serve.deadline_exceeded") + c("serve.error_replies");
+    if admitted != answered {
+        problems.push(format!(
+            "admitted {admitted} != served {} + deadline_exceeded {} + error_replies {}",
+            c("serve.served"),
+            c("serve.deadline_exceeded"),
+            c("serve.error_replies"),
+        ));
+    }
+    let runs = c("serve.replica_runs");
+    if runs != c("serve.batches") + c("serve.retried") {
+        problems.push(format!(
+            "replica_runs {runs} != batches {} + retried {}",
+            c("serve.batches"),
+            c("serve.retried"),
+        ));
+    }
+    let started = c("serve.lifecycle.canary_started");
+    let resolved = c("serve.lifecycle.promotions")
+        + c("serve.lifecycle.rollbacks")
+        + g("serve.lifecycle.candidate_active");
+    if started != resolved {
+        problems.push(format!(
+            "lifecycle.canary_started {started} != promotions {} + rollbacks {} + \
+             candidate_active {}",
+            c("serve.lifecycle.promotions"),
+            c("serve.lifecycle.rollbacks"),
+            g("serve.lifecycle.candidate_active"),
+        ));
+    }
+    if problems.is_empty() {
+        Ok(())
+    } else {
+        Err(problems.join("; "))
     }
 }
 
@@ -330,6 +391,7 @@ fn execute_and_reply(shared: &Shared, batch: Vec<Pending>, rung: RungLabel, may_
         Ok(x) => x,
         Err(reason) => {
             for p in batch {
+                ull_obs::counter_add("serve.error_replies", 1);
                 let _ = p.reply.send(Reply::Error {
                     id: p.id,
                     reason: reason.clone(),
@@ -372,6 +434,7 @@ fn execute_and_reply(shared: &Shared, batch: Vec<Pending>, rung: RungLabel, may_
                 execute_and_reply(shared, batch, rung, false);
             } else {
                 for p in batch {
+                    ull_obs::counter_add("serve.error_replies", 1);
                     let _ = p.reply.send(Reply::Error {
                         id: p.id,
                         reason: "inference worker panicked twice on this batch".to_string(),

@@ -10,7 +10,8 @@ use ull_data::{generate, Dataset, SynthCifarConfig};
 use ull_nn::models;
 use ull_robust::{profile_envelope, FaultConfig, FaultedNetwork, InferenceFault};
 use ull_serve::{
-    BreakerState, Engine, ReplicaSpec, Reply, Request, RungLabel, ServeConfig, Server,
+    connect_with_retry, reconcile, BreakerState, Engine, ReplicaSpec, Reply, Request, RetryPolicy,
+    RungLabel, ServeConfig, Server,
 };
 use ull_snn::{SnnNetwork, SpikeSpec};
 use ull_tensor::parallel;
@@ -211,7 +212,8 @@ fn breaker_trips_on_faulted_primary_and_fails_over() {
             "failover must keep serving predictions"
         );
     }
-    let events = server.engine().take_events();
+    let all_events = server.engine().take_events();
+    let events: Vec<_> = all_events.iter().filter_map(|e| e.batch()).collect();
     let trips = server.engine().breaker_trips();
     assert!(trips >= 1, "faulted primary must trip its breaker");
     assert_eq!(
@@ -240,6 +242,91 @@ fn breaker_trips_on_faulted_primary_and_fails_over() {
         "post-trip traffic is served healthily by the fallback"
     );
     server.shutdown();
+}
+
+#[test]
+fn half_open_admits_exactly_one_probe_and_doubles_on_failure() {
+    // Engine-level half-open behaviour on the injected clock
+    // (`chaos_advance_clock`) — no sleeps. The faulted primary trips
+    // immediately (threshold 1); quarantines are minutes long so real
+    // time elapsed inside the test (milliseconds) cannot cross a
+    // boundary on its own.
+    let data = test_data();
+    let cfg = ServeConfig {
+        workers: 1,
+        breaker_threshold: 1,
+        backoff_base_ms: 1_000_000, // q1 ∈ [500s, 1000s), q2 ∈ [1000s, 2000s)
+        backoff_max_ms: 1 << 40,
+        ..base_config()
+    };
+    let engine = Engine::new(
+        cfg.clone(),
+        vec![
+            replica("faulted-primary", faulted_net(11, 1e-2), &data, &cfg),
+            replica("clean-fallback", clean_net(11), &data, &cfg),
+        ],
+        None,
+    );
+    let x = data.eval_batches(1).next().unwrap().images;
+
+    // Trip: the first batch excurses on the primary and is retried.
+    let first = engine.execute(&x, RungLabel::Full);
+    assert!(first.retried_on_fallback);
+    assert_eq!(engine.breaker_states()[0], BreakerState::Open);
+    assert_eq!(engine.breaker_trips(), 1);
+
+    // While quarantined, every batch routes straight to the fallback.
+    for _ in 0..3 {
+        let r = engine.execute(&x, RungLabel::Full);
+        assert_eq!(r.replica, 1);
+        assert!(!r.retried_on_fallback, "no probe while Open");
+    }
+    // 400s < q1's 500s floor: still quarantined.
+    engine.chaos_advance_clock(400_000);
+    assert_eq!(engine.execute(&x, RungLabel::Full).replica, 1);
+    assert_eq!(engine.breaker_trips(), 1);
+
+    // 1000s ≥ q1 for every jitter value: exactly one probe is admitted;
+    // it fails, re-opening with a doubled quarantine.
+    engine.chaos_advance_clock(600_000);
+    let probe = engine.execute(&x, RungLabel::Full);
+    assert!(
+        probe.retried_on_fallback,
+        "probe ran on the primary, failed, fell back"
+    );
+    assert_eq!(engine.breaker_trips(), 2);
+    assert_eq!(engine.breaker_states()[0], BreakerState::Open);
+    for _ in 0..3 {
+        let r = engine.execute(&x, RungLabel::Full);
+        assert_eq!(r.replica, 1);
+        assert!(!r.retried_on_fallback, "only the probe touched the primary");
+    }
+
+    // The doubled quarantine outlives q1's entire range: 990s after the
+    // failed probe (q2 ≥ 1000s) there is still no probe...
+    engine.chaos_advance_clock(990_000);
+    assert_eq!(engine.execute(&x, RungLabel::Full).replica, 1);
+    assert_eq!(
+        engine.breaker_trips(),
+        2,
+        "no probe before the doubled backoff"
+    );
+    // ...but 2000s ≥ q2 for every jitter value admits the next one.
+    engine.chaos_advance_clock(1_010_000);
+    let probe2 = engine.execute(&x, RungLabel::Full);
+    assert!(probe2.retried_on_fallback);
+    assert_eq!(engine.breaker_trips(), 3);
+
+    // Exactly two probes (the two retried batches after the trip) in the
+    // whole timeline.
+    let retried = engine
+        .take_events()
+        .iter()
+        .filter_map(|e| e.batch())
+        .skip(1) // the tripping batch itself
+        .filter(|e| e.retried)
+        .count();
+    assert_eq!(retried, 2, "exactly one probe per elapsed quarantine");
 }
 
 #[test]
@@ -316,9 +403,20 @@ fn drain_flushes_the_queue_and_persists_metrics() {
     }
     assert_eq!(snap.counters.get("serve.admitted"), Some(&8));
     assert_eq!(snap.counters.get("serve.served"), Some(&8));
+    // The reconciliation identities hold on the drained snapshot:
+    // admitted == served + deadline_exceeded + error_replies,
+    // replica_runs == batches + retried, and the lifecycle identity
+    // (all-zero here — no manifest was ever published).
+    reconcile(&snap).expect("drained snapshot reconciles");
+    assert!(
+        snap.counters.contains_key("serve.batches")
+            && snap.counters.contains_key("serve.replica_runs"),
+        "engine accounting counters must be present in the snapshot"
+    );
     let disk: ull_obs::MetricsSnapshot =
         serde_json::from_str(&std::fs::read_to_string(&path).unwrap()).unwrap();
     assert_eq!(disk.counters, snap.counters);
+    reconcile(&disk).expect("persisted snapshot reconciles too");
 
     // Submissions after drain get a typed shed reply, not a hang.
     let late = client.call(requests(&data, 1).remove(0));
@@ -327,7 +425,6 @@ fn drain_flushes_the_queue_and_persists_metrics() {
 
 #[test]
 fn tcp_round_trip_speaks_typed_replies() {
-    use std::net::TcpStream;
     use ull_serve::{read_frame, write_frame};
 
     let data = test_data();
@@ -340,7 +437,10 @@ fn tcp_round_trip_speaks_typed_replies() {
     let mut server = Server::start(engine);
     let addr = server.listen("127.0.0.1:0").unwrap();
 
-    let mut conn = TcpStream::connect(addr).unwrap();
+    // Dial through the bounded-retry path: even if this thread wins the
+    // race against the accept loop's first `accept()`, the jittered
+    // backoff rides it out instead of failing the test.
+    let mut conn = connect_with_retry(addr, &RetryPolicy::default()).unwrap();
     let req = requests(&data, 1).remove(0);
     write_frame(&mut conn, serde_json::to_string(&req).unwrap().as_bytes()).unwrap();
     let reply: Reply =

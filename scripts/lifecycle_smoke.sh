@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Model-lifecycle smoke test: the serve crate's lifecycle/manifest unit
+# and fuzz tests, then the chaos acceptance gate — corrupted or
+# regressed candidates are never promoted and are quarantined typed,
+# mid-canary corruption rolls back within a bounded number of canary
+# batches, a clean reload drops zero replies, canary routing and
+# post-promotion outputs are bit-identical across reruns, and an engine
+# with no manifest behaves byte-identically to one without the
+# subsystem. The gate binary itself checks ULL_THREADS {1, 4}
+# invariance internally; running it under both settings additionally
+# proves the *ambient* thread count cannot leak into any decision.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SMOKE_TIMEOUT="${SMOKE_TIMEOUT:-900}"
+
+echo "== lifecycle unit + fuzz + integration tests =="
+timeout "$SMOKE_TIMEOUT" cargo test -p ull-serve -q
+
+echo "== lifecycle chaos acceptance gate =="
+cargo build --release -p ull-bench --bin serve_lifecycle
+ULL_THREADS=1 timeout "$SMOKE_TIMEOUT" ./target/release/serve_lifecycle --gate
+ULL_THREADS=4 timeout "$SMOKE_TIMEOUT" ./target/release/serve_lifecycle --gate
+
+echo "== artifact check =="
+test -s BENCH_lifecycle.json
+grep -q '"no_manifest_identical": true' BENCH_lifecycle.json
+grep -q '"torn_manifest_tolerated": true' BENCH_lifecycle.json
+grep -q '"rerun_identical": true' BENCH_lifecycle.json
+grep -q '"thread_invariant": true' BENCH_lifecycle.json
+grep -q '"timeline"' BENCH_lifecycle.json
+test -s reports/serve_lifecycle_tiny.json
+
+echo "lifecycle smoke test passed"
