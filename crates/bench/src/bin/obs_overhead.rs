@@ -2,9 +2,10 @@
 //! if instrumentation would add more than 2% to a representative
 //! workload's wall-clock time.
 //!
-//! Method: (1) time a tight loop of disabled `span` + `counter_add` calls
-//! to get the per-call cost (one relaxed atomic load each); (2) run a
-//! representative SNN inference workload with observability *enabled* to
+//! Method: (1) time a tight loop of disabled `span` + `counter_add` +
+//! `histogram_record` calls to get the per-call cost (one relaxed atomic
+//! load each); (2) run a representative SNN inference workload with
+//! observability *enabled* to
 //! count how many instrumentation calls the workload actually makes;
 //! (3) time the same workload with observability disabled. The projected
 //! overhead `calls × ns_per_call` must stay under 2% of the workload time.
@@ -36,7 +37,19 @@ fn build_workload() -> (SnnNetwork, ull_data::Dataset) {
 }
 
 fn run_workload(snn: &SnnNetwork, test: &ull_data::Dataset) -> f32 {
+    let start = Instant::now();
     let (acc, _) = evaluate_snn(snn, test, 2, 16);
+    // The serving layer records four stage histograms per request
+    // (`serve.lat.{queue,batch,forward,total}`); mirror that traffic here
+    // so the projection prices per-request histogram recording, not just
+    // the span/counter instrumentation inside the forward.
+    let us = start.elapsed().as_micros() as u64;
+    for i in 0..test.len() as u64 {
+        ull_obs::histogram_record("obs_overhead.lat.queue", i & 63);
+        ull_obs::histogram_record("obs_overhead.lat.batch", i & 1023);
+        ull_obs::histogram_record("obs_overhead.lat.forward", us);
+        ull_obs::histogram_record("obs_overhead.lat.total", us + (i & 63));
+    }
     acc
 }
 
@@ -44,25 +57,31 @@ fn main() -> ExitCode {
     ull_obs::set_enabled(false);
     let (snn, test) = build_workload();
 
-    // (1) Per-call cost of the disabled fast path.
+    // (1) Per-call cost of the disabled fast path. Every disabled call —
+    // span, counter, histogram — is one relaxed load, so one timed trio
+    // per iteration prices all three call types (conservatively: the
+    // projection below charges the whole trio per call).
     let start = Instant::now();
     for i in 0..CALIBRATION_ITERS {
         let _g = ull_obs::span("obs_overhead.calibration");
         ull_obs::counter_add("obs_overhead.calibration", i & 1);
+        ull_obs::histogram_record("obs_overhead.calibration", i & 7);
     }
     let ns_per_call = start.elapsed().as_nanos() as f64 / CALIBRATION_ITERS as f64;
 
     // (2) Count the instrumentation calls the workload makes. Span count
     // comes from aggregated span stats; counter-update count is bounded by
     // the number of span calls plus one batch/image counter per forward,
-    // so doubling the span count is a safe over-estimate.
+    // so doubling the span count is a safe over-estimate. Histogram
+    // records are counted exactly — each one lands in a snapshot bucket.
     ull_obs::reset();
     ull_obs::set_enabled(true);
     run_workload(&snn, &test);
     ull_obs::set_enabled(false);
     let snap = ull_obs::snapshot();
     let span_calls: u64 = snap.spans.values().map(|s| s.count).sum();
-    let calls = span_calls * 2;
+    let hist_calls: u64 = snap.histograms.values().map(|h| h.count).sum();
+    let calls = span_calls * 2 + hist_calls;
 
     // (3) Disabled wall-clock of the same workload (warm, repeated).
     ull_obs::reset();
@@ -76,7 +95,7 @@ fn main() -> ExitCode {
     let projected = calls as f64 * ns_per_call / 1e9;
     let ratio = projected / best;
     println!("disabled obs call:        {ns_per_call:.2} ns");
-    println!("instrumentation calls:    {calls} (spans x2, per workload run)");
+    println!("instrumentation calls:    {calls} (spans x2 + {hist_calls} histogram records, per workload run)");
     println!("workload (obs disabled):  {:.3} ms", best * 1e3);
     println!(
         "projected overhead:       {:.4} ms ({:.3}%)",

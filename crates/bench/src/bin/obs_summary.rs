@@ -7,13 +7,17 @@
 //! cargo run --release -p ull-bench --bin obs_summary -- /tmp/run.jsonl
 //! ```
 //!
-//! With `--validate`, every line must parse as a trace event and the
-//! process exits non-zero otherwise — the CI smoke check.
+//! With `--validate`, every line must be a trace event and the process
+//! exits non-zero otherwise — the CI smoke check. Well-formed events
+//! whose variant tag this build does not know (a trace from a newer
+//! writer) are *skipped and counted*, not treated as garbage: only
+//! structurally broken lines fail validation.
 
 use std::collections::BTreeMap;
 use std::process::ExitCode;
 
-use ull_obs::{SpanStat, TraceEvent};
+use ull_bench::{classify_trace_line, TraceLine};
+use ull_obs::{HistogramSnapshot, SpanStat, TraceEvent};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -33,16 +37,18 @@ fn main() -> ExitCode {
     let mut spans: BTreeMap<String, SpanStat> = BTreeMap::new();
     let mut counters: BTreeMap<String, u64> = BTreeMap::new();
     let mut gauges: BTreeMap<String, u64> = BTreeMap::new();
+    let mut hists: BTreeMap<String, HistogramSnapshot> = BTreeMap::new();
     let mut events = 0usize;
+    let mut skipped: BTreeMap<String, usize> = BTreeMap::new();
     let mut bad = 0usize;
     for (lineno, line) in text.lines().enumerate() {
         if line.trim().is_empty() {
             continue;
         }
-        match serde_json::from_str::<TraceEvent>(line) {
-            Ok(ev) => {
+        match classify_trace_line(line) {
+            TraceLine::Event(ev) => {
                 events += 1;
-                match ev {
+                match *ev {
                     TraceEvent::Span { path, dur_us, .. } => {
                         let s = spans.entry(path).or_default();
                         s.count += 1;
@@ -55,16 +61,26 @@ fn main() -> ExitCode {
                     TraceEvent::Gauge { key, value } => {
                         gauges.insert(key, value);
                     }
+                    TraceEvent::Hist { key, value, .. } => {
+                        hists.entry(key).or_default().record(value);
+                    }
                     TraceEvent::Mark { .. } => {}
                 }
             }
-            Err(e) => {
+            TraceLine::Unknown(tag) => {
+                *skipped.entry(tag).or_insert(0) += 1;
+            }
+            TraceLine::Garbage => {
                 bad += 1;
-                eprintln!("line {}: unparseable trace event: {e}", lineno + 1);
+                eprintln!("line {}: unparseable trace event", lineno + 1);
             }
         }
     }
-    println!("{path}: {events} events ({bad} unparseable)");
+    let skipped_total: usize = skipped.values().sum();
+    println!("{path}: {events} events ({skipped_total} skipped unknown, {bad} unparseable)");
+    for (tag, n) in &skipped {
+        println!("  skipped {n} x unknown variant \"{tag}\"");
+    }
     if validate && bad > 0 {
         return ExitCode::FAILURE;
     }
@@ -80,6 +96,21 @@ fn main() -> ExitCode {
             s.total_ns as f64 / 1e6,
             s.max_ns as f64 / 1e6
         );
+    }
+
+    if !hists.is_empty() {
+        println!("\nhistograms (log2-bucketed; quantiles are bucket upper bounds):");
+        println!("  key                                    count      p50      p99      max");
+        for (key, h) in &hists {
+            println!(
+                "  {:<38} {:>6} {:>8} {:>8} {:>8}",
+                key,
+                h.count,
+                h.quantile(0.50),
+                h.quantile(0.99),
+                h.max
+            );
+        }
     }
 
     // Per-layer activity: spikes / (images × neurons) per node — the

@@ -157,7 +157,13 @@ fn eval_set(data: &Dataset, n: usize, image: usize) -> Vec<(Request, usize)> {
 /// per-request threads (submission is not gated on completion), then
 /// waits for all replies. Returns phase stats.
 fn drive_phase(server: &Server, set: &[(Request, usize)], waves: usize) -> PhaseStats {
-    let mut latencies: Vec<u64> = Vec::new();
+    // Latency percentiles come from the streaming log₂ histogram — the
+    // same estimator the live scrape serves — instead of an ad-hoc
+    // sort. `quantile` never underestimates and stays within one bucket
+    // (< 2×) of the exact sorted value (cross-checked in ull-bench's
+    // unit tests); the global `soak.lat_ms` histogram additionally
+    // lands in the shutdown snapshot for scrape reconciliation.
+    let mut latencies = ull_obs::HistogramSnapshot::new();
     let mut predictions = 0usize;
     let mut shed = 0usize;
     let mut deadline_exceeded = 0usize;
@@ -180,7 +186,8 @@ fn drive_phase(server: &Server, set: &[(Request, usize)], waves: usize) -> Phase
             .collect();
         for h in handles {
             let (reply, label, ms) = h.join().expect("client thread");
-            latencies.push(ms);
+            latencies.record(ms);
+            ull_obs::histogram_record("soak.lat_ms", ms);
             match reply {
                 Reply::Prediction { class, .. } => {
                     predictions += 1;
@@ -195,14 +202,6 @@ fn drive_phase(server: &Server, set: &[(Request, usize)], waves: usize) -> Phase
             }
         }
     }
-    latencies.sort_unstable();
-    let pct = |p: f64| -> u64 {
-        if latencies.is_empty() {
-            return 0;
-        }
-        let idx = ((latencies.len() as f64 - 1.0) * p).round() as usize;
-        latencies[idx]
-    };
     PhaseStats {
         requests: set.len() * waves,
         predictions,
@@ -210,8 +209,8 @@ fn drive_phase(server: &Server, set: &[(Request, usize)], waves: usize) -> Phase
         deadline_exceeded,
         errors,
         accuracy: correct as f32 / graded.max(1) as f32,
-        p50_ms: pct(0.50),
-        p99_ms: pct(0.99),
+        p50_ms: latencies.quantile(0.50),
+        p99_ms: latencies.quantile(0.99),
     }
 }
 

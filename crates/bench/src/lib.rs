@@ -11,6 +11,49 @@ use rand::rngs::StdRng;
 use serde::Serialize;
 use ull_data::{generate, Dataset, SynthCifarConfig};
 use ull_nn::{evaluate, train_epoch, LrSchedule, Network, Sgd, SgdConfig, TrainConfig};
+use ull_obs::TraceEvent;
+
+/// One line of a JSONL trace, classified for forward compatibility.
+///
+/// The trace format is an externally-tagged enum, so a line written by a
+/// *newer* `ull-obs` with a variant this build does not know is still a
+/// well-formed single-key object — distinguishable from wire garbage.
+/// `obs_summary` reports the two separately: unknown variants are
+/// skipped (and counted), garbage fails `--validate`.
+#[derive(Debug)]
+pub enum TraceLine {
+    /// A trace event this build understands.
+    Event(Box<TraceEvent>),
+    /// A well-formed single-key object whose tag is not a known variant
+    /// (an event from a newer writer); the tag is carried for display.
+    Unknown(String),
+    /// Not a trace event at all.
+    Garbage,
+}
+
+/// Classifies one (non-empty) line of a JSONL trace.
+pub fn classify_trace_line(line: &str) -> TraceLine {
+    match serde_json::from_str::<TraceEvent>(line) {
+        Ok(ev) => TraceLine::Event(Box::new(ev)),
+        Err(_) => match serde_json::from_str::<serde_json::Value>(line) {
+            Ok(serde_json::Value::Map(entries)) if entries.len() == 1 => {
+                TraceLine::Unknown(entries[0].0.clone())
+            }
+            _ => TraceLine::Garbage,
+        },
+    }
+}
+
+/// Exact nearest-rank percentile of an ascending-sorted slice
+/// (`rank = ceil(p·n)`, matching [`ull_obs::HistogramSnapshot::quantile`]),
+/// for cross-checking histogram estimates against ground truth.
+pub fn exact_percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((p * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
 
 /// Experiment scale, selected with `--scale {tiny,small,paper}`.
 ///
@@ -252,6 +295,58 @@ mod tests {
         assert!(v16.threshold_nodes().len() > v11.threshold_nodes().len());
         let r20 = Arch::ResNet20.build(10, 16, 0.125, 1);
         assert_eq!(r20.threshold_nodes().len(), 19);
+    }
+
+    #[test]
+    fn trace_lines_classify_into_known_unknown_and_garbage() {
+        let known = r#"{"Counter": {"key": "x", "delta": 1, "thread": 0}}"#;
+        assert!(matches!(classify_trace_line(known), TraceLine::Event(_)));
+        // A single-key object with an unrecognised tag is a future
+        // variant, not garbage.
+        let future = r#"{"HistV2": {"key": "x", "value": 3}}"#;
+        match classify_trace_line(future) {
+            TraceLine::Unknown(tag) => assert_eq!(tag, "HistV2"),
+            other => panic!("got {other:?}"),
+        }
+        assert!(matches!(
+            classify_trace_line("{not json"),
+            TraceLine::Garbage
+        ));
+        // Two keys cannot be an externally-tagged enum.
+        assert!(matches!(
+            classify_trace_line(r#"{"a": 1, "b": 2}"#),
+            TraceLine::Garbage
+        ));
+        assert!(matches!(classify_trace_line("[1, 2]"), TraceLine::Garbage));
+    }
+
+    #[test]
+    fn histogram_quantile_matches_exact_percentile_within_one_bucket() {
+        // Deterministic heavy-tailed values: squares of a mixed stream.
+        let mut values: Vec<u64> = (0..500u64)
+            .map(|i| {
+                let h = ull_tensor::init::mix64(77, &[i]);
+                (h % 1_000) * (h % 97) / 13
+            })
+            .collect();
+        let mut hist = ull_obs::HistogramSnapshot::new();
+        for &v in &values {
+            hist.record(v);
+        }
+        values.sort_unstable();
+        for p in [0.5, 0.9, 0.99, 1.0] {
+            let exact = exact_percentile(&values, p);
+            let q = hist.quantile(p);
+            assert!(
+                q >= exact,
+                "quantile({p}) = {q} underestimates exact {exact}"
+            );
+            assert_eq!(
+                ull_obs::hist_bucket_index(q.max(1)),
+                ull_obs::hist_bucket_index(exact.max(1)),
+                "quantile({p}) = {q} left the bucket of exact {exact}"
+            );
+        }
     }
 
     #[test]

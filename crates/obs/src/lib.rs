@@ -12,6 +12,11 @@
 //! * **Counters and gauges** — monotonically accumulating event counts
 //!   ([`counter_add`]: spikes, MACs, checkpoint bytes, α/β candidates…)
 //!   and last-write-wins values ([`gauge_set`]: neurons per layer).
+//! * **Histograms** — fixed-size log₂-bucketed value distributions
+//!   ([`histogram_record`]: request latencies, per-rung step counts) with
+//!   exact count/sum/min/max, commutative merges and deterministic
+//!   quantiles ([`HistogramSnapshot::quantile`] always answers with a
+//!   bucket upper bound, so reruns agree bit-for-bit).
 //! * **Sinks** — an in-memory [`MetricsSnapshot`] (serde-serializable;
 //!   `ull-core` merges it into `PipelineReport` and the `reports/*.json`
 //!   artifacts) plus an optional JSONL event stream ([`TraceEvent`] per
@@ -121,6 +126,7 @@ struct Registry {
     spans: Mutex<HashMap<String, SpanStat>>,
     counters: Mutex<HashMap<String, u64>>,
     gauges: Mutex<HashMap<String, u64>>,
+    hists: Mutex<HashMap<String, HistogramSnapshot>>,
     trace: Mutex<Option<BufWriter<File>>>,
 }
 
@@ -131,6 +137,7 @@ fn registry() -> &'static Registry {
         spans: Mutex::new(HashMap::new()),
         counters: Mutex::new(HashMap::new()),
         gauges: Mutex::new(HashMap::new()),
+        hists: Mutex::new(HashMap::new()),
         trace: Mutex::new(None),
     })
 }
@@ -333,6 +340,155 @@ pub fn mark(label: &str) {
 }
 
 // ---------------------------------------------------------------------------
+// Histograms
+// ---------------------------------------------------------------------------
+
+/// Number of log₂ buckets in a [`HistogramSnapshot`]: bucket 0 holds exact
+/// zeros, bucket `i ∈ 1..=64` holds values in `[2^(i-1), 2^i - 1]`. The top
+/// bucket's range saturates at `u64::MAX`, so there is no separate overflow
+/// bucket — every `u64` lands somewhere.
+pub const HIST_BUCKETS: usize = 65;
+
+/// Bucket index for `value`: 0 for 0, else `64 - value.leading_zeros()`
+/// (the position of the highest set bit, 1-based).
+#[inline]
+pub fn hist_bucket_index(value: u64) -> usize {
+    if value == 0 {
+        0
+    } else {
+        64 - value.leading_zeros() as usize
+    }
+}
+
+/// Inclusive upper bound of bucket `index`: 0 for bucket 0, else
+/// `2^index - 1` (saturating at `u64::MAX` for the top bucket).
+#[inline]
+pub fn hist_bucket_bound(index: usize) -> u64 {
+    if index == 0 {
+        0
+    } else if index >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << index) - 1
+    }
+}
+
+/// A log₂-bucketed value distribution with exact count/sum/min/max.
+///
+/// Merging is elementwise addition, so merged per-thread snapshots are
+/// independent of merge order, and [`quantile`](Self::quantile) is a pure
+/// function of the bucket counts — deterministic across reruns and thread
+/// counts whenever the recorded multiset of values is.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HistogramSnapshot {
+    /// Total values recorded.
+    pub count: u64,
+    /// Exact sum of all recorded values (saturating).
+    pub sum: u64,
+    /// Smallest recorded value (`u64::MAX` when empty).
+    pub min: u64,
+    /// Largest recorded value (0 when empty).
+    pub max: u64,
+    /// Per-bucket counts, length [`HIST_BUCKETS`].
+    pub buckets: Vec<u64>,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl HistogramSnapshot {
+    /// An empty histogram with all [`HIST_BUCKETS`] buckets zeroed.
+    pub fn new() -> Self {
+        HistogramSnapshot {
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+            buckets: vec![0; HIST_BUCKETS],
+        }
+    }
+
+    /// Folds one value into the distribution.
+    pub fn record(&mut self, value: u64) {
+        if self.buckets.len() != HIST_BUCKETS {
+            self.buckets.resize(HIST_BUCKETS, 0);
+        }
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+        self.buckets[hist_bucket_index(value)] += 1;
+    }
+
+    /// Adds `other`'s contents into `self`. Commutative and associative:
+    /// any merge order of per-thread snapshots yields identical bytes.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        if self.buckets.len() != HIST_BUCKETS {
+            self.buckets.resize(HIST_BUCKETS, 0);
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        for (i, &b) in other.buckets.iter().enumerate().take(HIST_BUCKETS) {
+            self.buckets[i] += b;
+        }
+    }
+
+    /// Mean of the recorded values (0 when empty).
+    pub fn mean(&self) -> u64 {
+        self.sum.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// Deterministic quantile estimate: finds the bucket holding the
+    /// value of rank `ceil(p · count)` and returns that bucket's upper
+    /// bound, clamped to the exact observed `max`. Because bucket `i`
+    /// spans `[2^(i-1), 2^i - 1]`, the answer never underestimates the
+    /// true quantile and overestimates by less than 2× (one log₂
+    /// bucket's relative error). Returns 0 when empty.
+    pub fn quantile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((p * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cum = 0u64;
+        for (i, &b) in self.buckets.iter().enumerate() {
+            cum += b;
+            if cum >= rank {
+                return hist_bucket_bound(i).min(self.max).max(self.min);
+            }
+        }
+        self.max
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+}
+
+/// Folds `value` into the histogram `key`. One relaxed load and return
+/// when collection is disabled; the registry is untouched.
+#[inline]
+pub fn histogram_record(key: &str, value: u64) {
+    if !enabled() {
+        return;
+    }
+    lock(&registry().hists)
+        .entry(key.to_string())
+        .or_default()
+        .record(value);
+    write_trace(&TraceEvent::Hist {
+        key: key.to_string(),
+        value,
+        thread: thread_ordinal(),
+    });
+}
+
+// ---------------------------------------------------------------------------
 // Trace sink (JSONL)
 // ---------------------------------------------------------------------------
 
@@ -375,6 +531,15 @@ pub enum TraceEvent {
         label: String,
         /// Microseconds since the process trace epoch.
         at_us: u64,
+    },
+    /// A histogram observation.
+    Hist {
+        /// Histogram key.
+        key: String,
+        /// Recorded value.
+        value: u64,
+        /// Thread ordinal.
+        thread: u64,
     },
 }
 
@@ -430,12 +595,18 @@ pub struct MetricsSnapshot {
     /// Gauge values.
     #[serde(default)]
     pub gauges: BTreeMap<String, u64>,
+    /// Histogram distributions.
+    #[serde(default)]
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
 }
 
 impl MetricsSnapshot {
     /// Whether nothing has been recorded.
     pub fn is_empty(&self) -> bool {
-        self.spans.is_empty() && self.counters.is_empty() && self.gauges.is_empty()
+        self.spans.is_empty()
+            && self.counters.is_empty()
+            && self.gauges.is_empty()
+            && self.histograms.is_empty()
     }
 
     /// Sum of `prefix`-keyed counters (e.g. all `snn.spikes.node.*`).
@@ -464,16 +635,22 @@ pub fn snapshot() -> MetricsSnapshot {
             .iter()
             .map(|(k, v)| (k.clone(), *v))
             .collect(),
+        histograms: lock(&reg.hists)
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect(),
     }
 }
 
-/// Clears every span, counter and gauge aggregate (the enable flag and the
-/// trace sink are untouched). Call between phases for per-phase snapshots.
+/// Clears every span, counter, gauge and histogram aggregate (the enable
+/// flag and the trace sink are untouched). Call between phases for
+/// per-phase snapshots.
 pub fn reset() {
     let reg = registry();
     lock(&reg.spans).clear();
     lock(&reg.counters).clear();
     lock(&reg.gauges).clear();
+    lock(&reg.hists).clear();
 }
 
 /// Serializes tests that mutate the process-wide registry or enable flag,
@@ -504,6 +681,7 @@ mod tests {
             let _g = span("never");
             counter_add("never", 7);
             gauge_set("never", 9);
+            histogram_record("never", 11);
         }
         assert!(snapshot().is_empty());
         assert_eq!(current_path(), "");
@@ -604,6 +782,7 @@ mod tests {
             counter_add("c", 1);
             gauge_set("g", 2);
             mark("phase");
+            histogram_record("h", 42);
         }
         set_enabled(false);
         close_trace();
@@ -625,6 +804,9 @@ mod tests {
         assert!(events
             .iter()
             .any(|e| matches!(e, TraceEvent::Mark { label, .. } if label == "phase")));
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, TraceEvent::Hist { key, value: 42, .. } if key == "h")));
     }
 
     #[test]
@@ -637,6 +819,125 @@ mod tests {
         assert!(snapshot().is_empty());
         assert!(enabled());
         set_enabled(false);
+    }
+
+    #[test]
+    fn hist_bucket_math_covers_the_u64_range() {
+        assert_eq!(hist_bucket_index(0), 0);
+        assert_eq!(hist_bucket_index(1), 1);
+        assert_eq!(hist_bucket_index(2), 2);
+        assert_eq!(hist_bucket_index(3), 2);
+        assert_eq!(hist_bucket_index(4), 3);
+        assert_eq!(hist_bucket_index(u64::MAX), 64);
+        assert_eq!(hist_bucket_bound(0), 0);
+        assert_eq!(hist_bucket_bound(1), 1);
+        assert_eq!(hist_bucket_bound(2), 3);
+        assert_eq!(hist_bucket_bound(64), u64::MAX);
+        for v in [0u64, 1, 2, 3, 4, 7, 8, 1000, u64::MAX / 2, u64::MAX] {
+            let i = hist_bucket_index(v);
+            assert!(i < HIST_BUCKETS);
+            assert!(v <= hist_bucket_bound(i));
+            if i > 0 {
+                assert!(v > hist_bucket_bound(i - 1));
+            }
+        }
+    }
+
+    #[test]
+    fn histograms_record_exact_aggregates() {
+        let _lock = test_lock();
+        reset();
+        set_enabled(true);
+        for v in [0u64, 1, 5, 5, 100, 7] {
+            histogram_record("lat", v);
+        }
+        set_enabled(false);
+        let snap = snapshot();
+        let h = &snap.histograms["lat"];
+        assert_eq!(h.count, 6);
+        assert_eq!(h.sum, 118);
+        assert_eq!(h.min, 0);
+        assert_eq!(h.max, 100);
+        assert_eq!(h.mean(), 19);
+        assert_eq!(h.buckets.iter().sum::<u64>(), 6);
+        assert_eq!(h.buckets[0], 1); // the zero
+        assert_eq!(h.buckets[3], 3); // 5, 5, 7 in [4,7]
+    }
+
+    #[test]
+    fn quantile_matches_exact_sorted_within_one_bucket() {
+        // Satellite check: quantile(0.99) vs the exact sorted p99 — the
+        // histogram answer must bracket the true value within one log₂
+        // bucket (never below it, less than 2× above it).
+        let mut h = HistogramSnapshot::new();
+        let mut values: Vec<u64> = Vec::new();
+        let mut x = 12345u64;
+        for _ in 0..10_000 {
+            // Deterministic LCG spread over a few decades.
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let v = (x >> 33) % 1_000_000;
+            values.push(v);
+            h.record(v);
+        }
+        values.sort_unstable();
+        for &p in &[0.5, 0.9, 0.99, 0.999, 1.0] {
+            let rank = ((p * values.len() as f64).ceil() as usize).clamp(1, values.len());
+            let exact = values[rank - 1];
+            let est = h.quantile(p);
+            assert!(est >= exact, "p{p}: est {est} < exact {exact}");
+            assert!(
+                est <= exact.saturating_mul(2).max(1),
+                "p{p}: est {est} > 2x exact {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn histogram_merge_is_order_invariant() {
+        let mut parts: Vec<HistogramSnapshot> = Vec::new();
+        for t in 0..4u64 {
+            let mut h = HistogramSnapshot::new();
+            for i in 0..100u64 {
+                h.record(t * 1000 + i * 7);
+            }
+            parts.push(h);
+        }
+        let mut fwd = HistogramSnapshot::new();
+        for p in &parts {
+            fwd.merge(p);
+        }
+        let mut rev = HistogramSnapshot::new();
+        for p in parts.iter().rev() {
+            rev.merge(p);
+        }
+        assert_eq!(fwd, rev);
+        assert_eq!(
+            serde_json::to_string(&fwd).unwrap(),
+            serde_json::to_string(&rev).unwrap()
+        );
+        // And merging equals recording everything into one histogram.
+        let mut all = HistogramSnapshot::new();
+        for t in 0..4u64 {
+            for i in 0..100u64 {
+                all.record(t * 1000 + i * 7);
+            }
+        }
+        assert_eq!(fwd, all);
+    }
+
+    #[test]
+    fn histogram_snapshot_round_trips_through_json() {
+        let mut h = HistogramSnapshot::new();
+        for v in [3u64, 9, 27, 81] {
+            h.record(v);
+        }
+        let json = serde_json::to_string(&h).unwrap();
+        let back: HistogramSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(h, back);
+        assert!(HistogramSnapshot::new().is_empty());
+        assert_eq!(HistogramSnapshot::new().quantile(0.99), 0);
     }
 
     #[test]

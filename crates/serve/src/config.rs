@@ -112,6 +112,58 @@ impl LifecycleConfig {
     }
 }
 
+/// Tunables for the flight recorder (`blackbox.rs`): a bounded ring of
+/// recent [`ServeEvent`]s dumped to disk on incidents.
+///
+/// Disabled unless `dir` is set — the default config records nothing
+/// and writes nothing.
+///
+/// [`ServeEvent`]: crate::engine::ServeEvent
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BlackboxConfig {
+    /// Directory incident dumps are written to (`ULL_BLACKBOX_DIR`).
+    /// `None` disables the flight recorder entirely.
+    pub dir: Option<String>,
+    /// Ring capacity: how many recent events a dump can contain.
+    pub capacity: usize,
+}
+
+impl Default for BlackboxConfig {
+    fn default() -> Self {
+        BlackboxConfig {
+            dir: None,
+            capacity: 256,
+        }
+    }
+}
+
+impl BlackboxConfig {
+    /// Default config with `dir` taken from `ULL_BLACKBOX_DIR` (the
+    /// recorder stays disabled when the variable is unset or empty).
+    pub fn from_env() -> Self {
+        let dir = std::env::var("ULL_BLACKBOX_DIR")
+            .ok()
+            .filter(|v| !v.trim().is_empty());
+        BlackboxConfig {
+            dir,
+            ..BlackboxConfig::default()
+        }
+    }
+
+    /// Whether the flight recorder is armed.
+    pub fn enabled(&self) -> bool {
+        self.dir.is_some()
+    }
+
+    /// Appends any internal inconsistencies to `problems` (only checked
+    /// when the recorder is enabled).
+    pub(crate) fn validate_into(&self, problems: &mut Vec<String>) {
+        if self.enabled() && self.capacity == 0 {
+            problems.push("blackbox.capacity must be at least 1".to_string());
+        }
+    }
+}
+
 /// Tunables for the admission queue, batcher, degradation ladder,
 /// circuit breaker and drain behaviour.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -164,6 +216,10 @@ pub struct ServeConfig {
     /// pre-lifecycle build.
     #[serde(default)]
     pub lifecycle: LifecycleConfig,
+    /// Flight recorder (incident ring buffer + dump-on-trip). Defaults
+    /// to disabled: no recording, no disk writes.
+    #[serde(default)]
+    pub blackbox: BlackboxConfig,
 }
 
 impl Default for ServeConfig {
@@ -187,6 +243,7 @@ impl Default for ServeConfig {
             backoff_seed: 0x5e12_7e00,
             chaos_execute_delay_ms: 0,
             lifecycle: LifecycleConfig::default(),
+            blackbox: BlackboxConfig::default(),
         }
     }
 }
@@ -232,6 +289,7 @@ impl ServeConfig {
             ));
         }
         self.lifecycle.validate_into(&mut problems);
+        self.blackbox.validate_into(&mut problems);
         if problems.is_empty() {
             Ok(())
         } else {
@@ -301,6 +359,33 @@ mod tests {
         let back: ServeConfig = serde_json::from_str(&legacy).unwrap();
         assert_eq!(back, ServeConfig::default());
         assert!(!back.lifecycle.enabled());
+    }
+
+    #[test]
+    fn blackbox_config_defaults_off_and_validates_when_armed() {
+        let mut cfg = ServeConfig::default();
+        assert!(!cfg.blackbox.enabled());
+        cfg.blackbox.capacity = 0;
+        // Disabled recorder: nonsense capacity is inert.
+        cfg.validate().unwrap();
+        cfg.blackbox.dir = Some("/tmp/blackbox".to_string());
+        let err = cfg.validate().unwrap_err();
+        assert!(err.contains("blackbox.capacity"), "got: {err}");
+        // Legacy config JSON without the block still parses.
+        let back: ServeConfig = serde_json::from_str(&{
+            let v: serde_json::Value =
+                serde_json::from_str(&serde_json::to_string(&ServeConfig::default()).unwrap())
+                    .unwrap();
+            match v {
+                serde_json::Value::Map(mut m) => {
+                    m.retain(|(k, _)| k != "blackbox");
+                    serde_json::to_string(&serde_json::Value::Map(m)).unwrap()
+                }
+                _ => unreachable!("config serializes to an object"),
+            }
+        })
+        .unwrap();
+        assert_eq!(back, ServeConfig::default());
     }
 
     #[test]

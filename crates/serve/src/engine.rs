@@ -44,9 +44,10 @@ use ull_robust::{AnytimeSchedule, RateEnvelope};
 use ull_snn::SnnNetwork;
 use ull_tensor::Tensor;
 
+use crate::blackbox::FlightRecorder;
 use crate::breaker::{BreakerState, CircuitBreaker};
 use crate::config::ServeConfig;
-use crate::lifecycle::{LifecycleEvent, LifecycleManager};
+use crate::lifecycle::{LifecycleEvent, LifecycleManager, LifecycleTransition};
 use crate::protocol::RungLabel;
 
 /// One replica as supplied at engine build time: a network plus the
@@ -172,6 +173,7 @@ pub struct Engine {
     started: Instant,
     clock_skew_ms: AtomicU64,
     lifecycle: Mutex<Option<Arc<LifecycleManager>>>,
+    recorder: FlightRecorder,
 }
 
 impl Engine {
@@ -221,6 +223,7 @@ impl Engine {
                 }
             })
             .collect();
+        let recorder = FlightRecorder::new(&cfg.blackbox);
         Engine {
             cfg,
             replicas: slots,
@@ -232,6 +235,7 @@ impl Engine {
             started: Instant::now(),
             clock_skew_ms: AtomicU64::new(0),
             lifecycle: Mutex::new(None),
+            recorder,
         }
     }
 
@@ -294,12 +298,31 @@ impl Engine {
         std::mem::take(&mut *self.events.lock().unwrap_or_else(|e| e.into_inner()))
     }
 
-    /// Appends a lifecycle transition to the event log.
+    /// Appends a lifecycle transition to the event log (and the flight
+    /// recorder; a rollback triggers an incident dump).
     pub(crate) fn push_lifecycle_event(&self, event: LifecycleEvent) {
+        let rolled_back = matches!(event.transition, LifecycleTransition::RolledBack);
+        let wrapped = ServeEvent::Lifecycle(event);
+        self.recorder.observe(&wrapped);
         self.events
             .lock()
             .unwrap_or_else(|e| e.into_inner())
-            .push(ServeEvent::Lifecycle(event));
+            .push(wrapped);
+        if rolled_back {
+            self.flight_dump("lifecycle_rollback");
+        }
+    }
+
+    /// Writes a flight-recorder incident dump now (no-op unless
+    /// `cfg.blackbox.dir` is set). Returns the dump path when written.
+    pub fn flight_dump(&self, reason: &str) -> Option<std::path::PathBuf> {
+        self.recorder
+            .dump(reason, self.now_ms(), &self.breaker_states())
+    }
+
+    /// Flight-recorder dumps written so far.
+    pub fn flight_dumps(&self) -> u64 {
+        self.recorder.dumps()
     }
 
     /// Chaos seam: arm `count` injected panics on `replica`. Each of
@@ -370,6 +393,7 @@ impl Engine {
             ));
         }
 
+        let trips_before = self.breaker_trips();
         let now = self.now_ms();
         let primary = self.route(now);
         let (logits, steps, version, healthy) = self.run_on(primary, x, rung);
@@ -402,7 +426,10 @@ impl Engine {
         }
 
         ull_obs::counter_add(rung_counter(rung), 1);
-        let event = BatchEvent {
+        for &s in &result.steps {
+            ull_obs::histogram_record(rung_steps_key(result.rung), s as u64);
+        }
+        let event = ServeEvent::Batch(BatchEvent {
             seq,
             at_ms: self.now_ms(),
             rung,
@@ -411,11 +438,15 @@ impl Engine {
             healthy: result.healthy,
             retried: result.retried_on_fallback,
             breaker_states: self.breaker_states(),
-        };
+        });
+        self.recorder.observe(&event);
         self.events
             .lock()
             .unwrap_or_else(|e| e.into_inner())
-            .push(ServeEvent::Batch(event));
+            .push(event);
+        if self.breaker_trips() > trips_before {
+            self.flight_dump("breaker_trip");
+        }
 
         // Lifecycle last: the client-visible answer above is already
         // decided, so nothing the lifecycle does (poll, canary mirror,
@@ -525,6 +556,15 @@ fn rung_counter(rung: RungLabel) -> &'static str {
         RungLabel::Full => "serve.rung.full",
         RungLabel::Anytime => "serve.rung.anytime",
         RungLabel::Reduced => "serve.rung.reduced",
+    }
+}
+
+/// Per-rung step-count histogram key (one value per batch row).
+pub fn rung_steps_key(rung: RungLabel) -> &'static str {
+    match rung {
+        RungLabel::Full => "serve.steps.full",
+        RungLabel::Anytime => "serve.steps.anytime",
+        RungLabel::Reduced => "serve.steps.reduced",
     }
 }
 

@@ -40,6 +40,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod blackbox;
 pub mod breaker;
 pub mod config;
 pub mod engine;
@@ -50,16 +51,20 @@ pub mod protocol;
 pub mod retry;
 pub mod server;
 
+pub use blackbox::{parse_blackbox, BlackboxDump, FlightRecorder, BLACKBOX_FORMAT_VERSION};
 pub use breaker::{BreakerState, CircuitBreaker};
-pub use config::{LifecycleConfig, ServeConfig};
-pub use engine::{BatchEvent, BatchResult, Engine, ReplicaModel, ReplicaSpec, ServeEvent};
+pub use config::{BlackboxConfig, LifecycleConfig, ServeConfig};
+pub use engine::{
+    rung_steps_key, BatchEvent, BatchResult, Engine, ReplicaModel, ReplicaSpec, ServeEvent,
+};
 pub use ladder::choose_rung;
 pub use lifecycle::{LifecycleEvent, LifecycleManager, LifecycleTransition};
 pub use manifest::{
     parse_manifest, read_manifest, write_manifest, Manifest, ManifestError, MANIFEST_NAME,
 };
 pub use protocol::{
-    read_frame, write_frame, write_reply, FrameError, Reply, Request, RungLabel, MAX_FRAME_LEN,
+    read_frame, trace_id, write_control_reply, write_frame, write_reply, ControlReply,
+    ControlRequest, FrameError, Reply, Request, RungLabel, MAX_FRAME_LEN,
 };
 pub use retry::{connect_with_retry, retry_with_backoff, RetryPolicy};
 pub use server::{reconcile, Client, Server};

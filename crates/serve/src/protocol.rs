@@ -14,6 +14,9 @@
 use std::io::{Read, Write};
 
 use serde::{Deserialize, Serialize};
+use ull_obs::MetricsSnapshot;
+
+use crate::breaker::BreakerState;
 
 /// Upper bound on a frame's payload length in bytes.
 ///
@@ -58,6 +61,9 @@ pub enum Reply {
     Prediction {
         /// Echo of [`Request::id`].
         id: u64,
+        /// Server-assigned deterministic trace id (see [`trace_id`]).
+        #[serde(default)]
+        trace: u64,
         /// Argmax class.
         class: usize,
         /// Running-mean output logits.
@@ -71,16 +77,26 @@ pub enum Reply {
     Overloaded {
         /// Echo of [`Request::id`].
         id: u64,
+        /// Server-assigned deterministic trace id.
+        #[serde(default)]
+        trace: u64,
     },
     /// Deadline expired before the request reached a worker.
     DeadlineExceeded {
         /// Echo of [`Request::id`].
         id: u64,
+        /// Server-assigned deterministic trace id.
+        #[serde(default)]
+        trace: u64,
     },
     /// The request was structurally invalid (shape, pixels, framing).
     BadRequest {
         /// Echo of [`Request::id`] (0 when the frame never parsed).
         id: u64,
+        /// Server-assigned deterministic trace id (0 when the frame
+        /// never reached admission).
+        #[serde(default)]
+        trace: u64,
         /// Human-readable rejection reason.
         reason: String,
     },
@@ -88,6 +104,9 @@ pub enum Reply {
     Error {
         /// Echo of [`Request::id`].
         id: u64,
+        /// Server-assigned deterministic trace id.
+        #[serde(default)]
+        trace: u64,
         /// Human-readable failure reason.
         reason: String,
     },
@@ -98,10 +117,22 @@ impl Reply {
     pub fn id(&self) -> u64 {
         match self {
             Reply::Prediction { id, .. }
-            | Reply::Overloaded { id }
-            | Reply::DeadlineExceeded { id }
+            | Reply::Overloaded { id, .. }
+            | Reply::DeadlineExceeded { id, .. }
             | Reply::BadRequest { id, .. }
             | Reply::Error { id, .. } => *id,
+        }
+    }
+
+    /// The server-assigned trace id carried by any variant (0 for
+    /// replies to frames that never reached admission).
+    pub fn trace(&self) -> u64 {
+        match self {
+            Reply::Prediction { trace, .. }
+            | Reply::Overloaded { trace, .. }
+            | Reply::DeadlineExceeded { trace, .. }
+            | Reply::BadRequest { trace, .. }
+            | Reply::Error { trace, .. } => *trace,
         }
     }
 
@@ -109,6 +140,97 @@ impl Reply {
     pub fn is_prediction(&self) -> bool {
         matches!(self, Reply::Prediction { .. })
     }
+}
+
+/// The deterministic per-request trace id: a [`mix64`] hash of the
+/// submitting connection's serial and the request's serial on that
+/// connection. Both serials are assigned by arrival order, so for any
+/// fixed submission schedule the ids are bit-identical across
+/// `ULL_THREADS` settings and reruns.
+///
+/// [`mix64`]: ull_tensor::init::mix64
+pub fn trace_id(conn_serial: u64, req_serial: u64) -> u64 {
+    ull_tensor::init::mix64(conn_serial, &[req_serial])
+}
+
+/// An out-of-band control frame: telemetry requests served directly on
+/// the connection thread, never touching the admission queue or the
+/// batch workers. Wire format is the same length-prefixed JSON as
+/// [`Request`]; the server distinguishes the two by shape.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ControlRequest {
+    /// Scrape the live [`MetricsSnapshot`] plus serving state.
+    Metrics {
+        /// Client-chosen correlation id, echoed in the reply.
+        #[serde(default)]
+        id: u64,
+    },
+    /// Cheap liveness/readiness probe.
+    Health {
+        /// Client-chosen correlation id, echoed in the reply.
+        #[serde(default)]
+        id: u64,
+    },
+}
+
+/// Reply to a [`ControlRequest`]. Bounded in size: the snapshot holds
+/// fixed-cardinality aggregate keys (no per-request data) and every
+/// histogram is a fixed [`ull_obs::HIST_BUCKETS`]-bucket array.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ControlReply {
+    /// Live telemetry scrape.
+    Metrics {
+        /// Echo of the request id.
+        id: u64,
+        /// Point-in-time copy of every obs aggregate, including
+        /// histograms.
+        snapshot: MetricsSnapshot,
+        /// Replica names in routing-preference order.
+        replicas: Vec<String>,
+        /// Breaker state per replica.
+        breakers: Vec<BreakerState>,
+        /// Served model version per replica.
+        versions: Vec<u64>,
+        /// Lifetime breaker trips summed over replicas.
+        breaker_trips: u64,
+        /// Flight-recorder dumps written so far.
+        flight_dumps: u64,
+        /// Requests currently queued.
+        queue_depth: u64,
+        /// Whether the server is draining (rejecting admissions).
+        draining: bool,
+        /// Milliseconds since the engine was built (breaker clock).
+        uptime_ms: u64,
+    },
+    /// Liveness/readiness probe result.
+    Health {
+        /// Echo of the request id.
+        id: u64,
+        /// Whether the server is accepting and able to serve (not
+        /// draining, at least one breaker closed or half-open).
+        ok: bool,
+        /// Whether the server is draining.
+        draining: bool,
+        /// Requests currently queued.
+        queue_depth: u64,
+        /// Breaker state per replica.
+        breakers: Vec<BreakerState>,
+    },
+}
+
+impl ControlReply {
+    /// The echoed correlation id.
+    pub fn id(&self) -> u64 {
+        match self {
+            ControlReply::Metrics { id, .. } | ControlReply::Health { id, .. } => *id,
+        }
+    }
+}
+
+/// Serializes a control reply and writes it as one frame.
+pub fn write_control_reply(writer: &mut impl Write, reply: &ControlReply) -> std::io::Result<()> {
+    let json = serde_json::to_string(reply).map_err(|e| std::io::Error::other(e.to_string()))?;
+    write_frame(writer, json.as_bytes())
 }
 
 /// Why a frame could not be read.
@@ -195,19 +317,22 @@ mod tests {
         for reply in [
             Reply::Prediction {
                 id: 1,
+                trace: trace_id(0, 0),
                 class: 2,
                 logits: vec![0.1, -0.2, 0.9],
                 rung: RungLabel::Anytime,
                 steps: 3,
             },
-            Reply::Overloaded { id: 2 },
-            Reply::DeadlineExceeded { id: 3 },
+            Reply::Overloaded { id: 2, trace: 7 },
+            Reply::DeadlineExceeded { id: 3, trace: 8 },
             Reply::BadRequest {
                 id: 4,
+                trace: 0,
                 reason: "bad shape".into(),
             },
             Reply::Error {
                 id: 5,
+                trace: 9,
                 reason: "worker died".into(),
             },
         ] {
@@ -215,7 +340,50 @@ mod tests {
             let back: Reply = serde_json::from_str(&json).unwrap();
             assert_eq!(reply, back);
             assert_eq!(reply.id(), back.id());
+            assert_eq!(reply.trace(), back.trace());
         }
+    }
+
+    #[test]
+    fn replies_without_trace_field_still_parse() {
+        // Wire backward compatibility: pre-telemetry peers omit `trace`.
+        let back: Reply = serde_json::from_str(r#"{"Overloaded":{"id":6}}"#).unwrap();
+        assert_eq!(back, Reply::Overloaded { id: 6, trace: 0 });
+    }
+
+    #[test]
+    fn trace_ids_are_deterministic_and_distinct() {
+        assert_eq!(trace_id(3, 5), trace_id(3, 5));
+        assert_ne!(trace_id(3, 5), trace_id(5, 3));
+        assert_ne!(trace_id(0, 0), trace_id(0, 1));
+    }
+
+    #[test]
+    fn control_frames_round_trip_and_are_distinguishable() {
+        for creq in [
+            ControlRequest::Metrics { id: 11 },
+            ControlRequest::Health { id: 12 },
+        ] {
+            let json = serde_json::to_string(&creq).unwrap();
+            let back: ControlRequest = serde_json::from_str(&json).unwrap();
+            assert_eq!(creq, back);
+            // A control frame must never parse as an inference request.
+            assert!(serde_json::from_str::<Request>(&json).is_err());
+        }
+        let reply = ControlReply::Health {
+            id: 12,
+            ok: true,
+            draining: false,
+            queue_depth: 0,
+            breakers: vec![BreakerState::Closed, BreakerState::Open],
+        };
+        let mut buf = Vec::new();
+        write_control_reply(&mut buf, &reply).unwrap();
+        let mut cursor = &buf[..];
+        let payload = read_frame(&mut cursor).unwrap();
+        let back: ControlReply = serde_json::from_str(&String::from_utf8_lossy(&payload)).unwrap();
+        assert_eq!(reply, back);
+        assert_eq!(back.id(), 12);
     }
 
     #[test]

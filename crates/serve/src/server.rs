@@ -24,7 +24,7 @@ use std::io::Write as _;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::Path;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
@@ -36,12 +36,19 @@ use ull_tensor::Tensor;
 use crate::config::ServeConfig;
 use crate::engine::Engine;
 use crate::ladder::choose_rung;
-use crate::protocol::{read_frame, write_reply, FrameError, Reply, Request, RungLabel};
+use crate::protocol::{
+    read_frame, trace_id, write_control_reply, write_reply, ControlReply, ControlRequest,
+    FrameError, Reply, Request, RungLabel,
+};
 
 /// One admitted request waiting for a worker.
 struct Pending {
     id: u64,
+    /// Deterministic trace id (see [`trace_id`]), echoed in the reply
+    /// and joining this request across wire- and engine-side timelines.
+    trace: u64,
     data: Vec<f32>,
+    admitted: Instant,
     deadline: Instant,
     reply: mpsc::Sender<Reply>,
 }
@@ -56,6 +63,10 @@ struct Shared {
     engine: Engine,
     queue: Mutex<QueueState>,
     cv: Condvar,
+    /// Serial source for client connections; each [`Client`] handed out
+    /// by [`Server::client`] / accepted TCP connection gets the next
+    /// serial, in creation order.
+    conn_seq: AtomicU64,
 }
 
 fn lock_queue(shared: &Shared) -> MutexGuard<'_, QueueState> {
@@ -76,9 +87,17 @@ pub struct Server {
 }
 
 /// In-process handle for submitting requests; cheap to clone.
+///
+/// Each client carries a connection serial assigned at creation;
+/// requests submitted through it get consecutive request serials, and
+/// `trace_id(conn_serial, req_serial)` is the reply's trace id. Clones
+/// share the serial space (they are the same logical connection); use
+/// [`Client::fork`] for a new logical connection.
 #[derive(Clone)]
 pub struct Client {
     shared: Arc<Shared>,
+    conn: u64,
+    req_seq: Arc<AtomicU64>,
 }
 
 impl Server {
@@ -94,6 +113,7 @@ impl Server {
                 draining: false,
             }),
             cv: Condvar::new(),
+            conn_seq: AtomicU64::new(0),
         });
         let workers = (0..workers_n)
             .map(|i| {
@@ -112,9 +132,13 @@ impl Server {
         }
     }
 
-    /// An in-process client sharing this server's queue.
+    /// An in-process client sharing this server's queue. Each call
+    /// allocates the next connection serial, so clients created in a
+    /// fixed order get identical trace ids across reruns.
     pub fn client(&self) -> Client {
         Client {
+            conn: self.shared.conn_seq.fetch_add(1, Ordering::SeqCst),
+            req_seq: Arc::new(AtomicU64::new(0)),
             shared: Arc::clone(&self.shared),
         }
     }
@@ -140,7 +164,10 @@ impl Server {
                         break;
                     }
                     let Ok(stream) = conn else { continue };
-                    let client = client.clone();
+                    // Each TCP connection is its own logical connection:
+                    // fork a fresh serial so per-connection request
+                    // serials restart at 0.
+                    let client = client.fork();
                     // Connection threads are detached: they exit when the
                     // peer hangs up, and during drain their submissions
                     // get typed `Overloaded` replies.
@@ -164,6 +191,9 @@ impl Server {
         for w in self.workers.drain(..) {
             let _ = w.join();
         }
+        // The queue is drained: the depth gauge must agree (it would
+        // otherwise stay at the last pre-drain value forever).
+        ull_obs::gauge_set("serve.queue_depth", 0);
         self.accept_stop.store(true, Ordering::SeqCst);
         for (addr, handle) in self.accept_threads.drain(..) {
             // Wake the accept loop with a throwaway connection so it
@@ -171,6 +201,9 @@ impl Server {
             let _ = TcpStream::connect(addr);
             let _ = handle.join();
         }
+        // Every run ends with a final flight-recorder context file (when
+        // the recorder is armed).
+        self.shared.engine.flight_dump("drain");
         ull_obs::snapshot()
     }
 
@@ -249,6 +282,21 @@ pub fn reconcile(snap: &MetricsSnapshot) -> Result<(), String> {
 }
 
 impl Client {
+    /// A new logical connection on the same server: fresh connection
+    /// serial, request serials restarting at 0.
+    pub fn fork(&self) -> Client {
+        Client {
+            conn: self.shared.conn_seq.fetch_add(1, Ordering::SeqCst),
+            req_seq: Arc::new(AtomicU64::new(0)),
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// This client's connection serial (the first [`trace_id`] input).
+    pub fn conn_serial(&self) -> u64 {
+        self.conn
+    }
+
     /// Validates and enqueues a request. Always results in exactly one
     /// reply on the returned channel.
     pub fn submit(&self, req: Request) -> mpsc::Receiver<Reply> {
@@ -256,18 +304,29 @@ impl Client {
         let reply = |r: Reply| {
             let _ = tx.send(r);
         };
+        // Every submission gets a trace id, even ones rejected before
+        // admission — the serial is consumed either way so ids stay
+        // aligned with submission order.
+        let trace = trace_id(self.conn, self.req_seq.fetch_add(1, Ordering::SeqCst));
         if let Err(reason) = validate(&self.shared.cfg, &req) {
             ull_obs::counter_add("serve.bad_request", 1);
-            reply(Reply::BadRequest { id: req.id, reason });
+            reply(Reply::BadRequest {
+                id: req.id,
+                trace,
+                reason,
+            });
             return rx;
         }
         let deadline_ms = req
             .deadline_ms
             .unwrap_or(self.shared.cfg.default_deadline_ms);
+        let admitted = Instant::now();
         let pending = Pending {
             id: req.id,
+            trace,
             data: req.pixels,
-            deadline: Instant::now() + Duration::from_millis(deadline_ms),
+            admitted,
+            deadline: admitted + Duration::from_millis(deadline_ms),
             reply: tx.clone(),
         };
         {
@@ -275,7 +334,7 @@ impl Client {
             if st.draining || st.q.len() >= self.shared.cfg.queue_capacity {
                 drop(st);
                 ull_obs::counter_add("serve.shed", 1);
-                reply(Reply::Overloaded { id: req.id });
+                reply(Reply::Overloaded { id: req.id, trace });
                 return rx;
             }
             st.q.push_back(pending);
@@ -291,8 +350,53 @@ impl Client {
         let id = req.id;
         self.submit(req).recv().unwrap_or(Reply::Error {
             id,
+            trace: 0,
             reason: "reply channel closed".to_string(),
         })
+    }
+
+    /// Answers a telemetry control request from live state — engine
+    /// getters and one queue-lock peek, never an enqueue — so scrapes
+    /// stay responsive while the batch workers are saturated.
+    pub fn control(&self, req: ControlRequest) -> ControlReply {
+        let (queue_depth, draining) = {
+            let st = lock_queue(&self.shared);
+            (st.q.len() as u64, st.draining)
+        };
+        let engine = &self.shared.engine;
+        match req {
+            ControlRequest::Metrics { id } => {
+                let replicas = engine.replica_names();
+                let versions = (0..replicas.len())
+                    .map(|r| engine.serving_version(r))
+                    .collect();
+                ControlReply::Metrics {
+                    id,
+                    snapshot: ull_obs::snapshot(),
+                    replicas,
+                    breakers: engine.breaker_states(),
+                    versions,
+                    breaker_trips: engine.breaker_trips(),
+                    flight_dumps: engine.flight_dumps(),
+                    queue_depth,
+                    draining,
+                    uptime_ms: engine.now_ms(),
+                }
+            }
+            ControlRequest::Health { id } => {
+                let breakers = engine.breaker_states();
+                let any_admitting = breakers
+                    .iter()
+                    .any(|b| !matches!(b, crate::breaker::BreakerState::Open));
+                ControlReply::Health {
+                    id,
+                    ok: !draining && any_admitting,
+                    draining,
+                    queue_depth,
+                    breakers,
+                }
+            }
+        }
     }
 }
 
@@ -320,14 +424,24 @@ fn validate(cfg: &ServeConfig, req: &Request) -> Result<(), String> {
 }
 
 /// Pops queued requests until one is still live, replying
-/// `DeadlineExceeded` to every expired request on the way.
+/// `DeadlineExceeded` to every expired request on the way. Keeps the
+/// depth gauge current on every dequeue — admission alone would leave
+/// it stale at the last pre-drain value.
 fn pop_live(st: &mut QueueState, now: Instant) -> Option<Pending> {
     while let Some(p) = st.q.pop_front() {
+        ull_obs::gauge_set("serve.queue_depth", st.q.len() as u64);
         if now >= p.deadline {
             ull_obs::counter_add("serve.deadline_exceeded", 1);
-            let _ = p.reply.send(Reply::DeadlineExceeded { id: p.id });
+            let _ = p.reply.send(Reply::DeadlineExceeded {
+                id: p.id,
+                trace: p.trace,
+            });
             continue;
         }
+        ull_obs::histogram_record(
+            "serve.lat.queue",
+            now.saturating_duration_since(p.admitted).as_micros() as u64,
+        );
         return Some(p);
     }
     None
@@ -350,8 +464,9 @@ fn worker_loop(shared: &Shared) {
                 }
                 st = shared.cv.wait(st).unwrap_or_else(|e| e.into_inner());
             };
+            let form_start = Instant::now();
             let mut batch = vec![first];
-            let linger_until = Instant::now() + linger;
+            let linger_until = form_start + linger;
             while batch.len() < cfg.max_batch {
                 if let Some(p) = pop_live(&mut st, Instant::now()) {
                     batch.push(p);
@@ -368,6 +483,7 @@ fn worker_loop(shared: &Shared) {
                 st = guard;
             }
             ull_obs::gauge_set("serve.queue_depth", st.q.len() as u64);
+            ull_obs::histogram_record("serve.lat.batch", form_start.elapsed().as_micros() as u64);
             (batch, st.q.len())
         };
 
@@ -394,13 +510,19 @@ fn execute_and_reply(shared: &Shared, batch: Vec<Pending>, rung: RungLabel, may_
                 ull_obs::counter_add("serve.error_replies", 1);
                 let _ = p.reply.send(Reply::Error {
                     id: p.id,
+                    trace: p.trace,
                     reason: reason.clone(),
                 });
             }
             return;
         }
     };
+    let forward_start = Instant::now();
     let outcome = catch_unwind(AssertUnwindSafe(|| shared.engine.execute(&x, rung)));
+    ull_obs::histogram_record(
+        "serve.lat.forward",
+        forward_start.elapsed().as_micros() as u64,
+    );
     match outcome {
         Ok(result) => {
             let classes = result.logits.shape()[1];
@@ -414,8 +536,13 @@ fn execute_and_reply(shared: &Shared, batch: Vec<Pending>, rung: RungLabel, may_
                     .map(|(i, _)| i)
                     .unwrap_or(0);
                 ull_obs::counter_add("serve.served", 1);
+                ull_obs::histogram_record(
+                    "serve.lat.total",
+                    p.admitted.elapsed().as_micros() as u64,
+                );
                 let _ = p.reply.send(Reply::Prediction {
                     id: p.id,
+                    trace: p.trace,
                     class,
                     logits: row.to_vec(),
                     rung: result.rung,
@@ -433,10 +560,14 @@ fn execute_and_reply(shared: &Shared, batch: Vec<Pending>, rung: RungLabel, may_
             } else if may_retry {
                 execute_and_reply(shared, batch, rung, false);
             } else {
+                // Retries exhausted: this is an incident — capture the
+                // recent-event context before the typed error replies.
+                shared.engine.flight_dump("worker_panic");
                 for p in batch {
                     ull_obs::counter_add("serve.error_replies", 1);
                     let _ = p.reply.send(Reply::Error {
                         id: p.id,
+                        trace: p.trace,
                         reason: "inference worker panicked twice on this batch".to_string(),
                     });
                 }
@@ -474,16 +605,30 @@ fn serve_connection(mut stream: TcpStream, client: &Client) {
                             return;
                         }
                     }
-                    Err(e) => {
-                        ull_obs::counter_add("serve.bad_request", 1);
-                        let reply = Reply::BadRequest {
-                            id: 0,
-                            reason: format!("invalid request: {e}"),
-                        };
-                        if write_reply(&mut stream, &reply).is_err() {
-                            return;
+                    // Not an inference request: try the control plane
+                    // before rejecting. Control frames are answered
+                    // right here on the connection thread — they never
+                    // touch the admission queue or the batch workers.
+                    Err(e) => match serde_json::from_str::<ControlRequest>(&text) {
+                        Ok(creq) => {
+                            ull_obs::counter_add("serve.scrapes", 1);
+                            let reply = client.control(creq);
+                            if write_control_reply(&mut stream, &reply).is_err() {
+                                return;
+                            }
                         }
-                    }
+                        Err(_) => {
+                            ull_obs::counter_add("serve.bad_request", 1);
+                            let reply = Reply::BadRequest {
+                                id: 0,
+                                trace: 0,
+                                reason: format!("invalid request: {e}"),
+                            };
+                            if write_reply(&mut stream, &reply).is_err() {
+                                return;
+                            }
+                        }
+                    },
                 }
             }
             Err(FrameError::Closed) => return,
@@ -493,6 +638,7 @@ fn serve_connection(mut stream: TcpStream, client: &Client) {
                     &mut stream,
                     &Reply::BadRequest {
                         id: 0,
+                        trace: 0,
                         reason: e.to_string(),
                     },
                 );

@@ -75,13 +75,13 @@ fn wrong_shape_and_wrong_volume_get_typed_bad_requests() {
     let mut req = good_request(1);
     req.shape = vec![1, SIDE, SIDE];
     match client.call(req) {
-        Reply::BadRequest { id: 1, reason } => assert!(reason.contains("shape"), "{reason}"),
+        Reply::BadRequest { id: 1, reason, .. } => assert!(reason.contains("shape"), "{reason}"),
         other => panic!("got {other:?}"),
     }
     let mut req = good_request(2);
     req.pixels.truncate(10);
     match client.call(req) {
-        Reply::BadRequest { id: 2, reason } => assert!(reason.contains("pixels"), "{reason}"),
+        Reply::BadRequest { id: 2, reason, .. } => assert!(reason.contains("pixels"), "{reason}"),
         other => panic!("got {other:?}"),
     }
 }
@@ -107,7 +107,7 @@ fn non_finite_pixels_get_typed_bad_requests_even_via_json() {
     );
     write_frame(&mut conn, json.as_bytes()).unwrap();
     match read_reply(&mut conn) {
-        Reply::BadRequest { id: 9, reason } => assert!(reason.contains("finite"), "{reason}"),
+        Reply::BadRequest { id: 9, reason, .. } => assert!(reason.contains("finite"), "{reason}"),
         other => panic!("got {other:?}"),
     }
 }
@@ -122,7 +122,7 @@ fn oversized_frames_are_rejected_before_allocation_and_close_the_connection() {
     conn.write_all(&(3u32 << 30).to_be_bytes()).unwrap();
     conn.flush().unwrap();
     match read_reply(&mut conn) {
-        Reply::BadRequest { id: 0, reason } => assert!(reason.contains("exceeds"), "{reason}"),
+        Reply::BadRequest { id: 0, reason, .. } => assert!(reason.contains("exceeds"), "{reason}"),
         other => panic!("got {other:?}"),
     }
     let mut rest = Vec::new();
